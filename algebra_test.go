@@ -1,0 +1,164 @@
+package bfbdd_test
+
+// Property-based tests of the Boolean algebra over randomly constructed
+// BDDs: because diagrams are canonical, every algebraic law is checked by
+// handle equality, which makes these properties sharp (any internal
+// canonicity bug fails them immediately).
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bfbdd"
+)
+
+// randBDD derives a pseudo-random function over m's variables from seed
+// material supplied by testing/quick.
+func randBDD(m *bfbdd.Manager, seed uint64) *bfbdd.BDD {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	f := m.Var(rng.Intn(m.NumVars()))
+	for i := 0; i < 6; i++ {
+		g := m.Var(rng.Intn(m.NumVars()))
+		switch rng.Intn(4) {
+		case 0:
+			f = f.And(g)
+		case 1:
+			f = f.Or(g.Not())
+		case 2:
+			f = f.Xor(g)
+		default:
+			f = f.Implies(g)
+		}
+	}
+	return f
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 40}
+}
+
+func TestAlgebraLawsQuick(t *testing.T) {
+	m := bfbdd.New(8, bfbdd.WithEngine(bfbdd.EnginePBF), bfbdd.WithEvalThreshold(64))
+	laws := map[string]func(a, b, c uint64) bool{
+		"and-commutative": func(a, b, _ uint64) bool {
+			x, y := randBDD(m, a), randBDD(m, b)
+			return x.And(y).Equal(y.And(x))
+		},
+		"or-associative": func(a, b, c uint64) bool {
+			x, y, z := randBDD(m, a), randBDD(m, b), randBDD(m, c)
+			return x.Or(y).Or(z).Equal(x.Or(y.Or(z)))
+		},
+		"and-distributes-over-or": func(a, b, c uint64) bool {
+			x, y, z := randBDD(m, a), randBDD(m, b), randBDD(m, c)
+			return x.And(y.Or(z)).Equal(x.And(y).Or(x.And(z)))
+		},
+		"absorption": func(a, b, _ uint64) bool {
+			x, y := randBDD(m, a), randBDD(m, b)
+			return x.Or(x.And(y)).Equal(x) && x.And(x.Or(y)).Equal(x)
+		},
+		"de-morgan": func(a, b, _ uint64) bool {
+			x, y := randBDD(m, a), randBDD(m, b)
+			return x.And(y).Not().Equal(x.Not().Or(y.Not()))
+		},
+		"xor-via-or-and": func(a, b, _ uint64) bool {
+			x, y := randBDD(m, a), randBDD(m, b)
+			return x.Xor(y).Equal(x.Or(y).And(x.And(y).Not()))
+		},
+		"implication-transitivity-is-tautology": func(a, b, c uint64) bool {
+			x, y, z := randBDD(m, a), randBDD(m, b), randBDD(m, c)
+			chain := x.Implies(y).And(y.Implies(z))
+			return chain.Implies(x.Implies(z)).IsOne()
+		},
+		"shannon-expansion": func(a, _, _ uint64) bool {
+			x := randBDD(m, a)
+			v := m.Var(0)
+			return v.And(x.Restrict(0, true)).Or(v.Not().And(x.Restrict(0, false))).Equal(x)
+		},
+		"ite-consensus": func(a, b, c uint64) bool {
+			f, g, h := randBDD(m, a), randBDD(m, b), randBDD(m, c)
+			return f.ITE(g, h).Equal(f.And(g).Or(f.Not().And(h)))
+		},
+		"quantifier-duality": func(a, _, _ uint64) bool {
+			x := randBDD(m, a)
+			return x.Exists(2, 5).Not().Equal(x.Not().Forall(2, 5))
+		},
+	}
+	for name, law := range laws {
+		t.Run(name, func(t *testing.T) {
+			if err := quick.Check(law, quickCfg()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSatCountComplementQuick(t *testing.T) {
+	m := bfbdd.New(8)
+	total := int64(1) << 8
+	f := func(a uint64) bool {
+		x := randBDD(m, a)
+		return x.SatCount().Int64()+x.Not().SatCount().Int64() == total
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBatchPublic(t *testing.T) {
+	m := bfbdd.New(10,
+		bfbdd.WithEngine(bfbdd.EnginePar), bfbdd.WithWorkers(3),
+		bfbdd.WithEvalThreshold(32), bfbdd.WithGroupSize(8))
+	rng := rand.New(rand.NewSource(5))
+	var ops []bfbdd.BatchOp
+	var want []*bfbdd.BDD
+	kinds := []bfbdd.BatchOpKind{
+		bfbdd.BatchAnd, bfbdd.BatchOr, bfbdd.BatchXor, bfbdd.BatchNand,
+		bfbdd.BatchNor, bfbdd.BatchXnor, bfbdd.BatchDiff, bfbdd.BatchImplies,
+	}
+	for i := 0; i < 24; i++ {
+		f := randBDD(m, uint64(rng.Int63()))
+		g := randBDD(m, uint64(rng.Int63()))
+		kind := kinds[i%len(kinds)]
+		ops = append(ops, bfbdd.BatchOp{Kind: kind, F: f, G: g})
+		var w *bfbdd.BDD
+		switch kind {
+		case bfbdd.BatchAnd:
+			w = f.And(g)
+		case bfbdd.BatchOr:
+			w = f.Or(g)
+		case bfbdd.BatchXor:
+			w = f.Xor(g)
+		case bfbdd.BatchNand:
+			w = f.Nand(g)
+		case bfbdd.BatchNor:
+			w = f.Nor(g)
+		case bfbdd.BatchXnor:
+			w = f.Xnor(g)
+		case bfbdd.BatchDiff:
+			w = f.Diff(g)
+		case bfbdd.BatchImplies:
+			w = f.Implies(g)
+		}
+		want = append(want, w)
+	}
+	got := m.ApplyBatch(ops)
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d results for %d ops", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("batch result %d differs from individual apply", i)
+		}
+	}
+}
+
+func TestApplyBatchCrossManagerPanics(t *testing.T) {
+	m1, m2 := bfbdd.New(2), bfbdd.New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-manager batch did not panic")
+		}
+	}()
+	m1.ApplyBatch([]bfbdd.BatchOp{{Kind: bfbdd.BatchAnd, F: m2.Var(0), G: m2.Var(1)}})
+}

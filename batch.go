@@ -1,0 +1,69 @@
+package bfbdd
+
+import "bfbdd/internal/core"
+
+// BatchOpKind names a binary operation for ApplyBatch.
+type BatchOpKind int
+
+// The operations accepted by ApplyBatch.
+const (
+	BatchAnd BatchOpKind = iota
+	BatchOr
+	BatchXor
+	BatchNand
+	BatchNor
+	BatchXnor
+	BatchDiff
+	BatchImplies
+)
+
+func (k BatchOpKind) op() core.Op {
+	switch k {
+	case BatchAnd:
+		return core.OpAnd
+	case BatchOr:
+		return core.OpOr
+	case BatchXor:
+		return core.OpXor
+	case BatchNand:
+		return core.OpNand
+	case BatchNor:
+		return core.OpNor
+	case BatchXnor:
+		return core.OpXnor
+	case BatchDiff:
+		return core.OpDiff
+	case BatchImplies:
+		return core.OpImp
+	}
+	panic("bfbdd: unknown batch op kind")
+}
+
+// BatchOp is one operation of an ApplyBatch call.
+type BatchOp struct {
+	Kind BatchOpKind
+	F, G *BDD
+}
+
+// ApplyBatch computes a set of independent operations as one unit: with
+// EnginePar the operations are seeded across the workers and constructed
+// cooperatively (work stealing balances the remainder), and garbage
+// collection runs at the batch boundary instead of between operations —
+// the paper's "set of top level operations we queued" usage mode. The
+// results are returned in order.
+func (m *Manager) ApplyBatch(ops []BatchOp) []*BDD {
+	bin := make([]core.BinOp, len(ops))
+	for i, op := range ops {
+		op.F.mustShareManager(op.G)
+		if op.F.m != m {
+			panic("bfbdd: ApplyBatch operand from another manager")
+		}
+		bin[i] = core.BinOp{Op: op.Kind.op(), F: op.F.ref(), G: op.G.ref()}
+	}
+	refs := m.k.ApplyBatch(bin)
+	out := make([]*BDD, len(refs))
+	for i, r := range refs {
+		out[i] = m.wrap(r)
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+// Command bfbdd-verify checks two combinational circuits for functional
+// equivalence — the paper's motivating verification flow (§1): both
+// netlists are converted to BDDs over a shared variable order, outputs
+// are compared by canonical handle, and for every mismatch a
+// counterexample input vector is extracted from the XOR of the two
+// diagrams.
+//
+// Circuits are matched input-to-input and output-to-output by name when
+// both sides name their signals, and by position otherwise.
+//
+// Usage:
+//
+//	bfbdd-verify -spec spec.bench -impl impl.bench [flags]
+//	bfbdd-verify -spec adder-16 -impl cla-16          # built-in generators
+//
+//	-engine NAME    df, bf, hybrid, pbf (default), par
+//	-workers N      workers for -engine par
+//	-order METHOD   dfs (default), identity, interleave
+//	-max-cex N      counterexamples to print per differing output (default 1)
+//
+// Exit status: 0 equivalent, 1 not equivalent, 2 usage/build error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bfbdd/internal/core"
+	"bfbdd/internal/harness"
+	"bfbdd/internal/netlist"
+	"bfbdd/internal/node"
+	"bfbdd/internal/order"
+)
+
+func main() {
+	var (
+		specArg    = flag.String("spec", "", "specification: .bench file or built-in circuit name")
+		implArg    = flag.String("impl", "", "implementation: .bench file or built-in circuit name")
+		engineName = flag.String("engine", "pbf", "df, bf, hybrid, pbf, par")
+		workers    = flag.Int("workers", 4, "workers for -engine par")
+		orderFlag  = flag.String("order", "dfs", "variable order method")
+		maxCex     = flag.Int("max-cex", 1, "counterexamples per differing output")
+	)
+	flag.Parse()
+	if *specArg == "" || *implArg == "" {
+		fail(2, "both -spec and -impl are required")
+	}
+
+	spec, err := loadCircuit(*specArg)
+	if err != nil {
+		fail(2, "spec: %v", err)
+	}
+	impl, err := loadCircuit(*implArg)
+	if err != nil {
+		fail(2, "impl: %v", err)
+	}
+
+	// Match the implementation's inputs and outputs against the spec's.
+	inputMap, err := matchByName(spec, impl, true)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	outputMap, err := matchByName(spec, impl, false)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+
+	var m order.Method
+	switch *orderFlag {
+	case "dfs":
+		m = order.DFS
+	case "identity":
+		m = order.Identity
+	case "interleave":
+		m = order.Interleave
+	default:
+		fail(2, "unknown -order %q", *orderFlag)
+	}
+	opts := core.Options{Levels: spec.NumInputs()}
+	switch *engineName {
+	case "df":
+		opts.Engine = core.EngineDF
+	case "bf":
+		opts.Engine = core.EngineBF
+	case "hybrid":
+		opts.Engine = core.EngineHybrid
+	case "pbf":
+		opts.Engine = core.EnginePBF
+	case "par":
+		opts.Engine, opts.Workers, opts.Stealing = core.EnginePar, *workers, true
+	default:
+		fail(2, "unknown -engine %q", *engineName)
+	}
+
+	k := core.NewKernel(opts)
+	specOrder := order.Compute(spec, m, 0)
+	// The implementation's input at position p corresponds to the spec
+	// input inputMap[p]; give it that input's level.
+	implOrder := make([]int, impl.NumInputs())
+	for p := range implOrder {
+		implOrder[p] = specOrder[inputMap[p]]
+	}
+
+	start := time.Now()
+	specRes, err := netlist.Build(k, spec, specOrder)
+	if err != nil {
+		fail(2, "building spec: %v", err)
+	}
+	implRes, err := netlist.Build(k, impl, implOrder)
+	if err != nil {
+		fail(2, "building impl: %v", err)
+	}
+	fmt.Printf("built %q (%d gates) and %q (%d gates) in %v\n",
+		spec.Name, spec.NumGates(), impl.Name, impl.NumGates(),
+		time.Since(start).Round(time.Millisecond))
+
+	// level → spec input position, for printing counterexamples.
+	levelToInput := make([]int, len(specOrder))
+	for pos, lvl := range specOrder {
+		levelToInput[lvl] = pos
+	}
+
+	differing := 0
+	for si, sref := range specRes.Refs() {
+		iref := implRes.Refs()[outputMap[si]]
+		if sref == iref {
+			continue
+		}
+		differing++
+		name := spec.Gates[spec.Outputs[si]].Name
+		if name == "" {
+			name = fmt.Sprintf("out%d", si)
+		}
+		fmt.Printf("output %q DIFFERS\n", name)
+		miter := k.Apply(core.OpXor, sref, iref)
+		printed := 0
+		for printed < *maxCex {
+			cex, ok := k.AnySat(miter)
+			if !ok {
+				break
+			}
+			fmt.Printf("  counterexample:")
+			assign := make([]bool, k.Levels())
+			for lvl, v := range cex {
+				assign[lvl] = v == 1
+			}
+			for pos, gi := range spec.Inputs {
+				iname := spec.Gates[gi].Name
+				if iname == "" {
+					iname = fmt.Sprintf("in%d", pos)
+				}
+				val := 0
+				if assign[specOrder[pos]] {
+					val = 1
+				}
+				fmt.Printf(" %s=%d", iname, val)
+			}
+			fmt.Printf("  (spec=%v impl=%v)\n", k.Eval(sref, assign), k.Eval(iref, assign))
+			printed++
+			if printed < *maxCex {
+				// Exclude this assignment and ask for another.
+				lit := node.One
+				excl := k.Pin(miter)
+				for lvl, v := range cex {
+					if v < 0 {
+						continue
+					}
+					var vr node.Ref
+					if v == 1 {
+						vr = k.MkNode(lvl, node.Zero, node.One)
+					} else {
+						vr = k.MkNode(lvl, node.One, node.Zero)
+					}
+					lit = k.Apply(core.OpAnd, lit, vr)
+				}
+				miter = k.Apply(core.OpDiff, excl.Ref(), lit)
+				k.Unpin(excl)
+			}
+		}
+	}
+	specRes.Release()
+	implRes.Release()
+
+	if differing == 0 {
+		fmt.Println("EQUIVALENT: all outputs match")
+		return
+	}
+	fmt.Printf("NOT EQUIVALENT: %d of %d outputs differ\n", differing, spec.NumOutputs())
+	os.Exit(1)
+}
+
+// loadCircuit accepts a .bench path or a built-in generator name.
+func loadCircuit(arg string) (*netlist.Circuit, error) {
+	if _, err := os.Stat(arg); err == nil {
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.Parse(arg, f)
+	}
+	return harness.MakeCircuit(arg)
+}
+
+// matchByName maps spec positions to impl positions for inputs
+// (forInputs) or outputs, by signal name when both sides are fully named,
+// by position otherwise. The returned slice is indexed by impl position
+// for inputs and by spec position for outputs.
+func matchByName(spec, impl *netlist.Circuit, forInputs bool) ([]int, error) {
+	sIdx, iIdx := spec.Outputs, impl.Outputs
+	kind := "outputs"
+	if forInputs {
+		sIdx, iIdx = spec.Inputs, impl.Inputs
+		kind = "inputs"
+	}
+	if len(sIdx) != len(iIdx) {
+		return nil, fmt.Errorf("spec has %d %s, impl has %d", len(sIdx), kind, len(iIdx))
+	}
+	named := true
+	for _, gi := range sIdx {
+		if spec.Gates[gi].Name == "" {
+			named = false
+		}
+	}
+	for _, gi := range iIdx {
+		if impl.Gates[gi].Name == "" {
+			named = false
+		}
+	}
+	mapping := make([]int, len(sIdx))
+	if !named {
+		for i := range mapping {
+			mapping[i] = i
+		}
+		return mapping, nil
+	}
+	specPos := make(map[string]int, len(sIdx))
+	for p, gi := range sIdx {
+		specPos[spec.Gates[gi].Name] = p
+	}
+	for p, gi := range iIdx {
+		name := impl.Gates[gi].Name
+		sp, ok := specPos[name]
+		if !ok {
+			return nil, fmt.Errorf("impl %s %q has no counterpart in spec", kind, name)
+		}
+		if forInputs {
+			mapping[p] = sp // impl position -> spec position
+		} else {
+			mapping[sp] = p // spec position -> impl position
+		}
+	}
+	return mapping, nil
+}
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bfbdd-verify: "+format+"\n", args...)
+	os.Exit(code)
+}

@@ -1,0 +1,68 @@
+package bfbdd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"bfbdd/internal/node"
+)
+
+// WriteDOT renders the given BDDs as a Graphviz DOT graph. Dashed edges
+// are 0-branches, solid edges 1-branches, matching the paper's figures.
+// Shared subgraphs are emitted once. names labels the roots; pass nil for
+// automatic f0, f1, … labels.
+func WriteDOT(w io.Writer, names []string, bdds ...*BDD) error {
+	if len(bdds) == 0 {
+		return fmt.Errorf("bfbdd: WriteDOT needs at least one BDD")
+	}
+	m := bdds[0].m
+	for _, b := range bdds {
+		if b.m != m {
+			return fmt.Errorf("bfbdd: WriteDOT across managers")
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph bdd {")
+	fmt.Fprintln(bw, "  rankdir=TB;")
+	fmt.Fprintln(bw, `  node [shape=circle];`)
+	fmt.Fprintln(bw, `  t0 [label="0", shape=box];`)
+	fmt.Fprintln(bw, `  t1 [label="1", shape=box];`)
+
+	id := func(r node.Ref) string {
+		switch {
+		case r.IsZero():
+			return "t0"
+		case r.IsOne():
+			return "t1"
+		default:
+			return fmt.Sprintf("n%d_%d_%d", r.Level(), r.Worker(), r.Index())
+		}
+	}
+	seen := make(map[node.Ref]bool)
+	var emit func(r node.Ref)
+	emit = func(r node.Ref) {
+		if r.IsTerminal() || seen[r] {
+			return
+		}
+		seen[r] = true
+		nd := m.k.Store().Node(r)
+		fmt.Fprintf(bw, "  %s [label=\"x%d\"];\n", id(r), m.level2var[r.Level()])
+		fmt.Fprintf(bw, "  %s -> %s [style=dashed];\n", id(r), id(nd.Low))
+		fmt.Fprintf(bw, "  %s -> %s;\n", id(r), id(nd.High))
+		emit(nd.Low)
+		emit(nd.High)
+	}
+	for i, b := range bdds {
+		label := fmt.Sprintf("f%d", i)
+		if i < len(names) && names[i] != "" {
+			label = names[i]
+		}
+		root := fmt.Sprintf("r%d", i)
+		fmt.Fprintf(bw, "  %s [label=%q, shape=plaintext];\n", root, label)
+		fmt.Fprintf(bw, "  %s -> %s;\n", root, id(b.ref()))
+		emit(b.ref())
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

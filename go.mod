@@ -1,0 +1,3 @@
+module bfbdd
+
+go 1.22

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfbdd/internal/node"
+)
+
+func TestReorderLevelsSemantics(t *testing.T) {
+	k := NewKernel(Options{Levels: 6, Engine: EnginePBF, EvalThreshold: 16})
+	o := newTruthOracle(k, 6, 77)
+	for i := 0; i < 60; i++ {
+		o.step()
+	}
+	// Pin everything so the reorder rebuild covers it.
+	pins := make([]*Pin, len(o.refs))
+	for i, r := range o.refs {
+		pins[i] = k.Pin(r)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	levelMap := rng.Perm(6)
+	k.ReorderLevels(levelMap)
+
+	// Semantics under the permuted order: variable at old level l now
+	// sits at levelMap[l], so assignments must be re-indexed.
+	assign := make([]bool, 6)
+	for idx := range o.refs {
+		r := pins[idx].Ref()
+		for row := 0; row < 64; row++ {
+			for oldLvl := 0; oldLvl < 6; oldLvl++ {
+				assign[levelMap[oldLvl]] = row>>(6-1-oldLvl)&1 == 1
+			}
+			want := o.masks[idx]>>row&1 == 1
+			if got := k.Eval(r, assign); got != want {
+				t.Fatalf("fn %d row %d wrong after reorder", idx, row)
+			}
+		}
+	}
+	// Canonicity: functions with equal truth tables share refs after the
+	// rebuild too.
+	for i := range pins {
+		for j := i + 1; j < len(pins); j++ {
+			sameRef := pins[i].Ref() == pins[j].Ref()
+			sameFn := o.masks[i] == o.masks[j]
+			if sameRef != sameFn {
+				t.Fatalf("canonicity broken after reorder: %d vs %d", i, j)
+			}
+		}
+	}
+	roots := make([]node.Ref, len(pins))
+	for i, p := range pins {
+		roots[i] = p.Ref()
+	}
+	checkInvariants(t, k, roots)
+}
+
+func TestReorderLevelsIdentityNoop(t *testing.T) {
+	k := NewKernel(Options{Levels: 4, Engine: EnginePBF})
+	f := k.Apply(OpAnd, k.VarRef(0), k.VarRef(3))
+	p := k.Pin(f)
+	before := p.Ref()
+	k.ReorderLevels([]int{0, 1, 2, 3})
+	if p.Ref() != before {
+		t.Fatal("identity reorder rebuilt the forest")
+	}
+}
+
+func TestReorderLevelsPanics(t *testing.T) {
+	k := NewKernel(Options{Levels: 3, Engine: EnginePBF})
+	for _, bad := range [][]int{{0, 1}, {0, 0, 2}, {0, 1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ReorderLevels(%v) did not panic", bad)
+				}
+			}()
+			k.ReorderLevels(bad)
+		}()
+	}
+}
+
+func TestReorderCollectsOldForest(t *testing.T) {
+	k := NewKernel(Options{Levels: 10, Engine: EnginePBF})
+	f := node.One
+	for v := 0; v < 10; v++ {
+		f = k.Apply(OpAnd, f, k.VarRef(v))
+	}
+	p := k.Pin(f)
+	rev := make([]int, 10)
+	for i := range rev {
+		rev[i] = 9 - i
+	}
+	k.ReorderLevels(rev)
+	// The conjunction has the same size under any order; the old forest
+	// must be gone.
+	if got := k.Size(p.Ref()); got != 10 {
+		t.Fatalf("size after reorder = %d want 10", got)
+	}
+	if live := k.NumNodes(); live != 10 {
+		t.Fatalf("live nodes after reorder = %d want 10 (old forest leaked)", live)
+	}
+}
+
+func TestReorderParallelKernel(t *testing.T) {
+	k := NewKernel(Options{
+		Levels: 8, Engine: EnginePar, Workers: 3,
+		EvalThreshold: 16, GroupSize: 4, Stealing: true,
+	})
+	f := node.Zero
+	for v := 0; v < 8; v++ {
+		f = k.Apply(OpXor, f, k.VarRef(v))
+	}
+	p := k.Pin(f)
+	sizeBefore := k.Size(p.Ref())
+	k.ReorderLevels([]int{3, 1, 7, 5, 0, 2, 6, 4})
+	if k.Size(p.Ref()) != sizeBefore {
+		t.Fatalf("parity size should be order-independent: %d vs %d",
+			k.Size(p.Ref()), sizeBefore)
+	}
+	// Still fully functional after reordering.
+	g := k.Apply(OpXor, p.Ref(), p.Ref())
+	if g != node.Zero {
+		t.Fatal("kernel unusable after reorder")
+	}
+	checkInvariants(t, k, []node.Ref{p.Ref()})
+}

@@ -1,0 +1,293 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bfbdd/internal/stats"
+)
+
+// This file implements the analytic multiprocessor model used when the
+// host cannot provide real parallel hardware (the paper's experiments ran
+// on a 12-processor SGI Power Challenge; see DESIGN.md §2, substitution
+// 1). The parallel engine still runs for real — goroutines, per-variable
+// locks, work stealing and all — so every *structural* quantity is
+// genuinely measured: how many Shannon expansions each worker performed,
+// how many operator nodes each worker reduced, and how many unique-table
+// insertions landed on each variable. On a single-core host those
+// measurements are valid but wall-clock speedup is physically impossible,
+// so the model converts the measured work distributions into the elapsed
+// times an ideal P-processor machine would see:
+//
+//   - Expansion is lock-free (per-worker caches and operator arenas), so
+//     its modeled time is the *maximum* per-worker expansion work — the
+//     paper's near-linear phase.
+//   - Reduction serializes unique-table insertions per variable, so its
+//     modeled time is bounded below by both the maximum per-worker
+//     reduction work and the maximum per-variable insertion count — the
+//     clustering of nodes on few variables (Figure 15) is exactly what
+//     makes the second bound dominate at higher processor counts,
+//     reproducing the paper's reduction bottleneck (Figures 16/17).
+//   - GC mark and fix distribute with the creators of the nodes (modeled
+//     by the per-worker reduction shares); rehash serializes per variable
+//     like reduction.
+//
+// Unit costs (seconds per operation) are calibrated from the measured
+// sequential run, so modeled sequential time ≈ measured sequential time.
+type Model struct {
+	// Calibrated unit costs from the sequential run.
+	expCostPerOp float64
+	redCostPerOp float64
+	gcMarkCost   float64 // per reduced op (proxy for nodes owned)
+	gcFixCost    float64
+	gcRehashCost float64
+}
+
+// NewModel calibrates unit costs from the sequential result.
+func NewModel(seq *Result) *Model {
+	m := &Model{}
+	w := seq.AllWorkers
+	if w.Ops > 0 {
+		m.expCostPerOp = w.PhaseTime(stats.PhaseExpansion).Seconds() / float64(w.Ops)
+	}
+	if w.ReducedOps > 0 {
+		r := float64(w.ReducedOps)
+		m.redCostPerOp = w.PhaseTime(stats.PhaseReduction).Seconds() / r
+		m.gcMarkCost = w.PhaseTime(stats.PhaseGCMark).Seconds() / r
+		m.gcFixCost = w.PhaseTime(stats.PhaseGCFix).Seconds() / r
+		m.gcRehashCost = w.PhaseTime(stats.PhaseGCRehash).Seconds() / r
+	}
+	return m
+}
+
+// PhaseTimes is the modeled per-phase elapsed time on an ideal
+// P-processor machine.
+type PhaseTimes struct {
+	Expansion float64
+	Reduction float64
+	GCMark    float64
+	GCFix     float64
+	GCRehash  float64
+}
+
+// Total returns the summed modeled elapsed time.
+func (p PhaseTimes) Total() float64 {
+	return p.Expansion + p.Reduction + p.GCMark + p.GCFix + p.GCRehash
+}
+
+// GC returns the summed modeled collector time.
+func (p PhaseTimes) GC() float64 { return p.GCMark + p.GCFix + p.GCRehash }
+
+// Predict computes modeled phase times for a run. Two quantities are
+// taken from the run's real measurements: the total operation counts
+// (which grow with P because compute caches are private — the paper's
+// Figure 11 effect) and the per-variable insertion counts (whose
+// clustering is the paper's reduction bottleneck). Work distribution
+// across workers is assumed balanced, which is what dynamic stealing is
+// for and what the paper observed for the expansion phase; on a 1-core
+// host the raw per-worker split cannot be used because the Go scheduler
+// starves the thieves.
+func (m *Model) Predict(r *Result) PhaseTimes {
+	procs := r.Workers
+	if procs == 0 {
+		procs = 1
+	}
+	P := float64(procs)
+	totalOps := float64(r.AllWorkers.Ops)
+	totalRed := float64(r.AllWorkers.ReducedOps)
+	var maxVarSer, maxVarIns, totalIns float64
+	for l, n := range r.SerializedPerVar {
+		maxVarSer = max(maxVarSer, float64(n))
+		maxVarIns = max(maxVarIns, float64(r.InsertsPerVar[l]))
+		totalIns += float64(r.InsertsPerVar[l])
+	}
+	// Reduction's critical path: the balanced per-worker share or the
+	// busiest variable's lock-serialized unique-table traffic, whichever
+	// is longer.
+	redCritical := max(totalRed/P, maxVarSer)
+	// Rehash reinserts live nodes; its per-variable serialization follows
+	// the insertion distribution. Scale to the reduction-op unit via the
+	// insert share of reduced ops.
+	rehashCritical := max(totalIns/P, maxVarIns)
+	return PhaseTimes{
+		Expansion: m.expCostPerOp * totalOps / P,
+		Reduction: m.redCostPerOp * redCritical,
+		GCMark:    m.gcMarkCost * totalRed / P,
+		GCFix:     m.gcFixCost * totalRed / P,
+		GCRehash:  m.gcRehashCost * totalRed * (rehashCritical / max(totalIns, 1)),
+	}
+}
+
+// LockRatio returns the modeled fraction of the reduction phase spent
+// waiting on per-variable unique-table locks: the serialization excess
+// over the balanced share (the paper's Figure 17 metric).
+func (m *Model) LockRatio(r *Result) float64 {
+	procs := r.Workers
+	if procs == 0 {
+		procs = 1
+	}
+	P := float64(procs)
+	totalRed := float64(r.AllWorkers.ReducedOps)
+	var maxVar float64
+	for _, n := range r.SerializedPerVar {
+		maxVar = max(maxVar, float64(n))
+	}
+	crit := max(totalRed/P, maxVar)
+	if crit == 0 {
+		return 0
+	}
+	return (crit - totalRed/P) / crit
+}
+
+// Fig17Modeled prints the modeled lock-wait fraction of the reduction
+// phase per processor count.
+func Fig17Modeled(w io.Writer, circuit string, byProc map[int]*Result) {
+	seq := byProc[0]
+	if seq == nil {
+		return
+	}
+	m := NewModel(seq)
+	header(w, fmt.Sprintf("Figure 17 (modeled): Lock wait / reduction time, %s", circuit))
+	fmt.Fprintf(w, "%-8s%10s\n", "# Procs", "ratio")
+	for _, p := range procsOf(byProc) {
+		if p == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-8d%10.3f\n", p, m.LockRatio(byProc[p]))
+	}
+}
+
+// ModeledSpeedups returns, for every processor count in byProc, the
+// modeled overall speedup over the sequential run.
+func ModeledSpeedups(byProc map[int]*Result) map[int]float64 {
+	seq := byProc[0]
+	if seq == nil {
+		return nil
+	}
+	m := NewModel(seq)
+	base := m.Predict(seq).Total()
+	out := make(map[int]float64, len(byProc))
+	for p, r := range byProc {
+		t := m.Predict(r).Total()
+		if t > 0 {
+			out[p] = base / t
+		}
+	}
+	return out
+}
+
+// Fig8Modeled prints the modeled speedup table: the single-core-host
+// substitute for the paper's Figure 8 (see the comment at the top of this
+// file and EXPERIMENTS.md).
+func Fig8Modeled(w io.Writer, rs ResultSet) {
+	header(w, "Figure 8 (modeled): Speedup over sequential on an ideal P-processor machine")
+	circuits := rs.Circuits()
+	speed := make(map[string]map[int]float64, len(circuits))
+	for _, c := range circuits {
+		speed[c] = ModeledSpeedups(rs[c])
+	}
+	fmt.Fprintf(w, "%-8s", "# Procs")
+	for _, c := range circuits {
+		fmt.Fprintf(w, "%12s", c)
+	}
+	fmt.Fprintln(w)
+	var procs []int
+	for _, c := range circuits {
+		procs = procsOf(rs[c])
+		break
+	}
+	for _, p := range procs {
+		fmt.Fprintf(w, "%-8s", ProcLabel(p))
+		for _, c := range circuits {
+			if s, ok := speed[c][p]; ok {
+				fmt.Fprintf(w, "%12.2f", s)
+			} else {
+				fmt.Fprintf(w, "%12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig13Modeled prints the modeled per-phase breakdown for one circuit
+// (single-core-host substitute for the measured Figure 13).
+func Fig13Modeled(w io.Writer, circuit string, byProc map[int]*Result) {
+	seq := byProc[0]
+	if seq == nil {
+		return
+	}
+	m := NewModel(seq)
+	header(w, fmt.Sprintf("Figure 13 (modeled): Phase breakdown of %s on an ideal machine (seconds)", circuit))
+	fmt.Fprintf(w, "%-8s%12s%12s%10s\n", "# Procs", "Expansion", "Reduction", "GC")
+	for _, p := range procsOf(byProc) {
+		if p == 0 {
+			continue
+		}
+		t := m.Predict(byProc[p])
+		fmt.Fprintf(w, "%-8d%12.2f%12.2f%10.2f\n", p, t.Expansion, t.Reduction, t.GC())
+	}
+}
+
+// Fig14Modeled prints modeled phase speedups over the 1-processor run.
+func Fig14Modeled(w io.Writer, circuit string, byProc map[int]*Result) {
+	seq, one := byProc[0], byProc[1]
+	if seq == nil || one == nil {
+		return
+	}
+	m := NewModel(seq)
+	base := m.Predict(one)
+	header(w, fmt.Sprintf("Figure 14 (modeled): Phase speedups of %s over 1 processor", circuit))
+	fmt.Fprintf(w, "%-8s%12s%12s%10s\n", "# Procs", "Expansion", "Reduction", "GC")
+	for _, p := range procsOf(byProc) {
+		if p == 0 {
+			continue
+		}
+		t := m.Predict(byProc[p])
+		ratio := func(num, den float64) string {
+			if den == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", num/den)
+		}
+		fmt.Fprintf(w, "%-8d%12s%12s%10s\n", p,
+			ratio(base.Expansion, t.Expansion),
+			ratio(base.Reduction, t.Reduction),
+			ratio(base.GC(), t.GC()))
+	}
+}
+
+// Fig19Modeled prints modeled GC phase speedups over the 1-processor run.
+func Fig19Modeled(w io.Writer, circuit string, byProc map[int]*Result) {
+	seq, one := byProc[0], byProc[1]
+	if seq == nil || one == nil {
+		return
+	}
+	m := NewModel(seq)
+	base := m.Predict(one)
+	header(w, fmt.Sprintf("Figure 19 (modeled): GC phase speedups of %s over 1 processor", circuit))
+	fmt.Fprintf(w, "%-8s%10s%10s%10s\n", "# Procs", "Mark", "Fix", "Rehash")
+	for _, p := range procsOf(byProc) {
+		if p == 0 {
+			continue
+		}
+		t := m.Predict(byProc[p])
+		ratio := func(num, den float64) string {
+			if den == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", num/den)
+		}
+		fmt.Fprintf(w, "%-8d%10s%10s%10s\n", p,
+			ratio(base.GCMark, t.GCMark),
+			ratio(base.GCFix, t.GCFix),
+			ratio(base.GCRehash, t.GCRehash))
+	}
+}
+
+// HostParallel reports whether the host can execute workers in parallel,
+// deciding whether measured or modeled speedups are meaningful.
+func HostParallel(gomaxprocs int) bool { return gomaxprocs > 1 }
+
+// FormatDuration renders a duration at millisecond precision for reports.
+func FormatDuration(d time.Duration) string { return d.Round(time.Millisecond).String() }

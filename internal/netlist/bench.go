@@ -1,0 +1,217 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Parse reads a circuit in the ISCAS85 .bench format:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(f)
+//	f = AND(a, b)
+//
+// Gate definitions may appear in any order; Parse topologically sorts
+// them. Supported functions: AND, OR, NAND, NOR, XOR, XNOR, NOT, BUFF
+// (also BUF), CONST0, CONST1.
+func Parse(name string, r io.Reader) (*Circuit, error) {
+	type rawGate struct {
+		name   string
+		typ    GateType
+		fanins []string
+		line   int
+	}
+	var raws []rawGate
+	var inputs, outputs []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT(") && !strings.Contains(line, "="):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", lineNo, err)
+			}
+			inputs = append(inputs, arg)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT(") && !strings.Contains(line, "="):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("netlist: line %d: unrecognized line %q", lineNo, line)
+			}
+			gname := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close_ := strings.LastIndex(rhs, ")")
+			if open < 0 || close_ < open {
+				return nil, fmt.Errorf("netlist: line %d: malformed gate %q", lineNo, line)
+			}
+			fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			typ, ok := benchTypes[fn]
+			if !ok {
+				return nil, fmt.Errorf("netlist: line %d: unknown function %q", lineNo, fn)
+			}
+			var fanins []string
+			inner := strings.TrimSpace(rhs[open+1 : close_])
+			if inner != "" {
+				for _, f := range strings.Split(inner, ",") {
+					fanins = append(fanins, strings.TrimSpace(f))
+				}
+			}
+			raws = append(raws, rawGate{gname, typ, fanins, lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: read: %v", err)
+	}
+
+	c := New(name)
+	for _, in := range inputs {
+		c.AddInput(in)
+	}
+	byName := make(map[string]*rawGate, len(raws))
+	for i := range raws {
+		g := &raws[i]
+		if _, dup := c.byName[g.name]; dup {
+			return nil, fmt.Errorf("netlist: line %d: %q already defined", g.line, g.name)
+		}
+		if prev, dup := byName[g.name]; dup {
+			return nil, fmt.Errorf("netlist: line %d: %q already defined at line %d", g.line, g.name, prev.line)
+		}
+		byName[g.name] = g
+	}
+
+	// Topological emit with cycle detection.
+	const (
+		unvisited = 0
+		visiting  = 1
+		doneState = 2
+	)
+	state := make(map[string]int)
+	var emit func(name string) error
+	emit = func(gn string) error {
+		if _, ok := c.byName[gn]; ok {
+			return nil // already emitted (input or earlier gate)
+		}
+		switch state[gn] {
+		case visiting:
+			return fmt.Errorf("netlist: combinational cycle through %q", gn)
+		case doneState:
+			return nil
+		}
+		g, ok := byName[gn]
+		if !ok {
+			return fmt.Errorf("netlist: undefined signal %q", gn)
+		}
+		state[gn] = visiting
+		for _, f := range g.fanins {
+			if err := emit(f); err != nil {
+				return err
+			}
+		}
+		state[gn] = doneState
+		fanins := make([]int, len(g.fanins))
+		for i, f := range g.fanins {
+			fanins[i] = c.byName[f]
+		}
+		c.AddGate(g.typ, g.name, fanins...)
+		return nil
+	}
+	// Deterministic order: outputs first (their cones), then leftovers.
+	for _, o := range outputs {
+		if err := emit(o); err != nil {
+			return nil, err
+		}
+	}
+	rest := make([]string, 0, len(byName))
+	for gn := range byName {
+		rest = append(rest, gn)
+	}
+	sort.Strings(rest)
+	for _, gn := range rest {
+		if err := emit(gn); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range outputs {
+		idx, ok := c.byName[o]
+		if !ok {
+			return nil, fmt.Errorf("netlist: output %q undefined", o)
+		}
+		c.MarkOutput(idx)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+var benchTypes = map[string]GateType{
+	"AND": GateAnd, "OR": GateOr, "NAND": GateNand, "NOR": GateNor,
+	"XOR": GateXor, "XNOR": GateXnor, "NOT": GateNot, "BUFF": GateBuf,
+	"BUF": GateBuf, "CONST0": GateConst0, "CONST1": GateConst1,
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close_ := strings.LastIndex(line, ")")
+	if open < 0 || close_ < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close_])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return arg, nil
+}
+
+// Write emits the circuit in .bench format. Unnamed gates get synthetic
+// names ("g<N>").
+func Write(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d inputs, %d outputs, %d gates\n",
+		c.Name, len(c.Inputs), len(c.Outputs), len(c.Gates))
+	nameOf := make([]string, len(c.Gates))
+	for i, g := range c.Gates {
+		if g.Name != "" {
+			nameOf[i] = g.Name
+		} else {
+			// Double underscore avoids collisions with user names, which
+			// AddGate guarantees are unique among themselves.
+			nameOf[i] = fmt.Sprintf("G__%d", i)
+		}
+	}
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", nameOf[in])
+	}
+	for _, out := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", nameOf[out])
+	}
+	for i, g := range c.Gates {
+		if g.Type == GateInput {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for j, f := range g.Fanin {
+			names[j] = nameOf[f]
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", nameOf[i], g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

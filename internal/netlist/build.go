@@ -1,0 +1,147 @@
+package netlist
+
+import (
+	"fmt"
+
+	"bfbdd/internal/core"
+	"bfbdd/internal/node"
+)
+
+// BuildResult holds the symbolic evaluation of a circuit: one pinned BDD
+// per primary output, in Outputs order. Callers must Release the result
+// (or keep it) to control the pins' lifetime.
+type BuildResult struct {
+	kernel  *core.Kernel
+	Outputs []*core.Pin
+}
+
+// Refs returns the current output refs (valid until the next operation
+// that may garbage collect).
+func (r *BuildResult) Refs() []node.Ref {
+	refs := make([]node.Ref, len(r.Outputs))
+	for i, p := range r.Outputs {
+		refs[i] = p.Ref()
+	}
+	return refs
+}
+
+// Release unpins all outputs.
+func (r *BuildResult) Release() {
+	for _, p := range r.Outputs {
+		r.kernel.Unpin(p)
+	}
+	r.Outputs = nil
+}
+
+// Build symbolically evaluates the circuit, producing a BDD for every
+// primary output. inputLevel maps each primary input (by position in
+// c.Inputs) to its BDD variable level, typically computed by
+// internal/order; it must be a permutation of [0, NumInputs).
+//
+// Intermediate gate results are pinned only while gates still reference
+// them, so the kernel's automatic garbage collection can reclaim dead
+// subgraphs mid-build — the workload pattern of the paper's experiments,
+// where BDD construction for the ISCAS85 circuits proceeds gate by gate.
+func Build(k *core.Kernel, c *Circuit, inputLevel []int) (*BuildResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(inputLevel) != len(c.Inputs) {
+		return nil, fmt.Errorf("netlist: inputLevel has %d entries, circuit has %d inputs",
+			len(inputLevel), len(c.Inputs))
+	}
+	if k.Levels() < len(c.Inputs) {
+		return nil, fmt.Errorf("netlist: kernel has %d levels, circuit needs %d",
+			k.Levels(), len(c.Inputs))
+	}
+	seen := make([]bool, len(inputLevel))
+	for _, l := range inputLevel {
+		if l < 0 || l >= len(inputLevel) || seen[l] {
+			return nil, fmt.Errorf("netlist: inputLevel is not a permutation")
+		}
+		seen[l] = true
+	}
+
+	fanout := c.FanoutCounts()
+	pins := make([]*core.Pin, len(c.Gates))
+	release := func(gi int) {
+		fanout[gi]--
+		if fanout[gi] == 0 && pins[gi] != nil {
+			k.Unpin(pins[gi])
+			pins[gi] = nil
+		}
+	}
+
+	for pos, in := range c.Inputs {
+		pins[in] = k.Pin(k.VarRef(inputLevel[pos]))
+	}
+
+	for gi, g := range c.Gates {
+		if g.Type == GateInput {
+			continue
+		}
+		var r node.Ref
+		switch g.Type {
+		case GateConst0:
+			r = node.Zero
+		case GateConst1:
+			r = node.One
+		case GateBuf:
+			r = pins[g.Fanin[0]].Ref()
+		case GateNot:
+			r = k.Not(pins[g.Fanin[0]].Ref())
+		default:
+			op, invert := gateOp(g.Type)
+			r = pins[g.Fanin[0]].Ref()
+			for _, f := range g.Fanin[1:] {
+				r = k.Apply(op, r, pins[f].Ref())
+			}
+			if invert {
+				// n-ary NAND/NOR/XNOR are the complement of the n-ary
+				// AND/OR/XOR fold (inverting pairwise would be wrong).
+				r = k.Not(r)
+			}
+		}
+		pins[gi] = k.Pin(r)
+		for _, f := range g.Fanin {
+			release(f)
+		}
+	}
+
+	res := &BuildResult{kernel: k}
+	for _, o := range c.Outputs {
+		// Re-pin per output declaration (an output may also feed gates
+		// or be listed twice), then drop the build-time pin.
+		res.Outputs = append(res.Outputs, k.Pin(pins[o].Ref()))
+	}
+	for _, o := range c.Outputs {
+		release(o)
+	}
+	for gi := range pins {
+		if pins[gi] != nil && fanout[gi] == 0 {
+			k.Unpin(pins[gi])
+			pins[gi] = nil
+		}
+	}
+	return res, nil
+}
+
+// gateOp maps an n-ary gate type to its fold operation plus a final
+// inversion flag.
+func gateOp(t GateType) (core.Op, bool) {
+	switch t {
+	case GateAnd:
+		return core.OpAnd, false
+	case GateOr:
+		return core.OpOr, false
+	case GateNand:
+		return core.OpAnd, true
+	case GateNor:
+		return core.OpOr, true
+	case GateXor:
+		return core.OpXor, false
+	case GateXnor:
+		return core.OpXor, true
+	}
+	panic("netlist: gateOp on " + t.String())
+}

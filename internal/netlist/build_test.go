@@ -1,0 +1,223 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"bfbdd/internal/core"
+)
+
+func buildKernels(levels int) map[string]*core.Kernel {
+	return map[string]*core.Kernel{
+		"df":  core.NewKernel(core.Options{Levels: levels, Engine: core.EngineDF}),
+		"pbf": core.NewKernel(core.Options{Levels: levels, Engine: core.EnginePBF, EvalThreshold: 64, GroupSize: 8}),
+		"par": core.NewKernel(core.Options{
+			Levels: levels, Engine: core.EnginePar, Workers: 3,
+			EvalThreshold: 64, GroupSize: 8, Stealing: true,
+		}),
+	}
+}
+
+// checkBuildAgainstSim verifies the BDD build against gate-level
+// simulation on random (or exhaustive, if small) input vectors.
+func checkBuildAgainstSim(t *testing.T, k *core.Kernel, c *Circuit, inputLevel []int, trials int) {
+	t.Helper()
+	res, err := Build(k, c, inputLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	rng := rand.New(rand.NewSource(77))
+	n := c.NumInputs()
+	exhaustive := n <= 10
+	if exhaustive {
+		trials = 1 << n
+	}
+	assign := make([]bool, k.Levels())
+	in := make([]bool, n)
+	for trial := 0; trial < trials; trial++ {
+		for i := range in {
+			if exhaustive {
+				in[i] = trial>>i&1 == 1
+			} else {
+				in[i] = rng.Intn(2) == 1
+			}
+		}
+		for pos, lvl := range inputLevel {
+			assign[lvl] = in[pos]
+		}
+		want := c.Eval(in)
+		refs := res.Refs()
+		for o, r := range refs {
+			if got := k.Eval(r, assign); got != want[o] {
+				t.Fatalf("trial %d output %d: BDD=%v sim=%v", trial, o, got, want[o])
+			}
+		}
+	}
+}
+
+func identityOrder(n int) []int {
+	lv := make([]int, n)
+	for i := range lv {
+		lv[i] = i
+	}
+	return lv
+}
+
+func TestBuildSmallCircuitsAllEngines(t *testing.T) {
+	circuits := []*Circuit{
+		RippleAdder(3),
+		Multiplier(3),
+		Comparator(4),
+		Parity(9),
+	}
+	for _, c := range circuits {
+		for name, k := range buildKernels(c.NumInputs()) {
+			t.Run(c.Name+"/"+name, func(t *testing.T) {
+				checkBuildAgainstSim(t, k, c, identityOrder(c.NumInputs()), 0)
+			})
+		}
+	}
+}
+
+func TestBuildWithGC(t *testing.T) {
+	// Aggressive auto-GC during a build with many intermediate gates.
+	c := Multiplier(5)
+	k := core.NewKernel(core.Options{
+		Levels: c.NumInputs(), Engine: core.EnginePBF,
+		EvalThreshold: 32, GroupSize: 8,
+		GCMinNodes: 32, GCGrowth: 1.2,
+	})
+	checkBuildAgainstSim(t, k, c, identityOrder(c.NumInputs()), 0)
+	if k.Memory().GCCount == 0 {
+		t.Fatal("expected garbage collections during the build")
+	}
+}
+
+func TestBuildParallelWithGC(t *testing.T) {
+	c := C3540LikeScaled(6)
+	k := core.NewKernel(core.Options{
+		Levels: c.NumInputs(), Engine: core.EnginePar, Workers: 4,
+		EvalThreshold: 128, GroupSize: 16, Stealing: true,
+		GCMinNodes: 256, GCGrowth: 1.3,
+	})
+	checkBuildAgainstSim(t, k, c, identityOrder(c.NumInputs()), 64)
+}
+
+func TestBuildRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		c := Random(8, 60, seed)
+		k := core.NewKernel(core.Options{Levels: 8, Engine: core.EnginePBF, EvalThreshold: 16, GroupSize: 4})
+		checkBuildAgainstSim(t, k, c, identityOrder(8), 0)
+	}
+}
+
+func TestBuildAdderEquivalence(t *testing.T) {
+	// Ripple-carry and carry-lookahead adders must produce identical
+	// canonical BDDs — the equivalence-checking use case from the paper's
+	// introduction.
+	const w = 6
+	ra, cla := RippleAdder(w), CarryLookaheadAdder(w)
+	k := core.NewKernel(core.Options{Levels: ra.NumInputs(), Engine: core.EnginePBF})
+	lv := identityOrder(ra.NumInputs())
+	r1, err := Build(k, ra, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Release()
+	r2, err := Build(k, cla, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Release()
+	refs1, refs2 := r1.Refs(), r2.Refs()
+	for i := range refs1 {
+		if refs1[i] != refs2[i] {
+			t.Fatalf("output %d differs: equivalence check failed", i)
+		}
+	}
+}
+
+func TestBuildFaultDetection(t *testing.T) {
+	// A single gate fault must be caught by BDD comparison, and the XOR
+	// of the two versions yields a counterexample (paper §1).
+	const w = 4
+	good := RippleAdder(w)
+	bad := RippleAdder(w)
+	// Inject a fault: flip one gate type (an AND in a full adder to OR).
+	for i := range bad.Gates {
+		if bad.Gates[i].Type == GateAnd {
+			bad.Gates[i].Type = GateOr
+			break
+		}
+	}
+	k := core.NewKernel(core.Options{Levels: good.NumInputs(), Engine: core.EnginePBF})
+	lv := identityOrder(good.NumInputs())
+	rg, err := Build(k, good, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Build(k, bad, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDiff := false
+	for i := range rg.Refs() {
+		g, b := rg.Refs()[i], rb.Refs()[i]
+		if g == b {
+			continue
+		}
+		foundDiff = true
+		miter := k.Apply(core.OpXor, g, b)
+		cex, ok := k.AnySat(miter)
+		if !ok {
+			t.Fatal("differing outputs but XOR unsatisfiable")
+		}
+		// The counterexample must actually distinguish the circuits.
+		assign := make([]bool, k.Levels())
+		for lvl, v := range cex {
+			assign[lvl] = v == 1
+		}
+		if k.Eval(g, assign) == k.Eval(b, assign) {
+			t.Fatal("counterexample does not distinguish the outputs")
+		}
+	}
+	if !foundDiff {
+		t.Fatal("fault injection changed nothing")
+	}
+}
+
+func TestBuildBadArguments(t *testing.T) {
+	c := Parity(4)
+	k := core.NewKernel(core.Options{Levels: 4, Engine: core.EngineDF})
+	if _, err := Build(k, c, []int{0, 1, 2}); err == nil {
+		t.Fatal("short inputLevel accepted")
+	}
+	if _, err := Build(k, c, []int{0, 1, 2, 2}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	small := core.NewKernel(core.Options{Levels: 2, Engine: core.EngineDF})
+	if _, err := Build(small, c, []int{0, 1, 2, 3}); err == nil {
+		t.Fatal("undersized kernel accepted")
+	}
+}
+
+func TestBuildPinHygiene(t *testing.T) {
+	c := Multiplier(3)
+	k := core.NewKernel(core.Options{Levels: c.NumInputs(), Engine: core.EnginePBF})
+	res, err := Build(k, c, identityOrder(c.NumInputs()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NumPins() != c.NumOutputs() {
+		t.Fatalf("pins after build = %d want %d (intermediates leaked)", k.NumPins(), c.NumOutputs())
+	}
+	res.Release()
+	if k.NumPins() != 0 {
+		t.Fatalf("pins after release = %d", k.NumPins())
+	}
+	k.GC()
+	if k.NumNodes() != 0 {
+		t.Fatalf("nodes after release+GC = %d", k.NumNodes())
+	}
+}

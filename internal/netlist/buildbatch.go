@@ -1,0 +1,204 @@
+package netlist
+
+import (
+	"fmt"
+
+	"bfbdd/internal/core"
+	"bfbdd/internal/node"
+)
+
+// buildSrc identifies a batched-build operand: a constant, a pinned input
+// variable, or a pending unit. Pin-backed sources stay valid across the
+// garbage collections that run at batch boundaries.
+type buildSrc struct {
+	unit int       // ≥ 0: index into the unit graph
+	pin  *core.Pin // non-nil: a pinned input variable
+	ref  node.Ref  // otherwise: a terminal constant (never relocated)
+}
+
+func constSrc(r node.Ref) buildSrc { return buildSrc{unit: -1, ref: r} }
+func pinSrc(p *core.Pin) buildSrc  { return buildSrc{unit: -1, pin: p} }
+
+// buildUnit is one binary operation in the decomposed gate graph.
+type buildUnit struct {
+	op      core.Op
+	a, b    buildSrc
+	deps    int   // unresolved operand units
+	waiters []int // units whose deps include this one
+	uses    int   // consumers (operand slots + output declarations)
+	pin     *core.Pin
+	done    bool
+}
+
+// BuildBatched symbolically evaluates the circuit like Build, but instead
+// of issuing one Apply at a time it decomposes every gate into binary
+// operation units and issues all *ready* units together through
+// Kernel.ApplyBatch. This is the paper's operating mode: users queue a
+// set of top-level operations, the parallel workers construct them
+// cooperatively (each seeding its share, stealing the rest), and the
+// garbage-collection condition is checked at batch boundaries (§4.1).
+//
+// maxBatch bounds the number of operations per batch (0 selects 8× the
+// worker count).
+func BuildBatched(k *core.Kernel, c *Circuit, inputLevel []int, maxBatch int) (*BuildResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(inputLevel) != len(c.Inputs) {
+		return nil, fmt.Errorf("netlist: inputLevel has %d entries, circuit has %d inputs",
+			len(inputLevel), len(c.Inputs))
+	}
+	if k.Levels() < len(c.Inputs) {
+		return nil, fmt.Errorf("netlist: kernel has %d levels, circuit needs %d",
+			k.Levels(), len(c.Inputs))
+	}
+	seen := make([]bool, len(inputLevel))
+	for _, l := range inputLevel {
+		if l < 0 || l >= len(inputLevel) || seen[l] {
+			return nil, fmt.Errorf("netlist: inputLevel is not a permutation")
+		}
+		seen[l] = true
+	}
+	if maxBatch <= 0 {
+		maxBatch = 8 * max(k.Options().Workers, 1)
+	}
+
+	// Decompose gates into the unit graph.
+	var units []buildUnit
+	addUnit := func(op core.Op, a, b buildSrc) buildSrc {
+		units = append(units, buildUnit{op: op, a: a, b: b})
+		return buildSrc{unit: len(units) - 1}
+	}
+	gateSrc := make([]buildSrc, len(c.Gates))
+	varPins := make([]*core.Pin, 0, len(c.Inputs))
+	for pos, in := range c.Inputs {
+		p := k.Pin(k.VarRef(inputLevel[pos]))
+		varPins = append(varPins, p)
+		gateSrc[in] = pinSrc(p)
+	}
+	for gi, g := range c.Gates {
+		switch g.Type {
+		case GateInput:
+			// handled above
+		case GateConst0:
+			gateSrc[gi] = constSrc(node.Zero)
+		case GateConst1:
+			gateSrc[gi] = constSrc(node.One)
+		case GateBuf:
+			gateSrc[gi] = gateSrc[g.Fanin[0]]
+		case GateNot:
+			gateSrc[gi] = addUnit(core.OpXnor, gateSrc[g.Fanin[0]], constSrc(node.Zero))
+		default:
+			op, invert := gateOp(g.Type)
+			acc := gateSrc[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				acc = addUnit(op, acc, gateSrc[f])
+			}
+			if invert {
+				acc = addUnit(core.OpXnor, acc, constSrc(node.Zero))
+			}
+			gateSrc[gi] = acc
+		}
+	}
+
+	// Dependency and consumer accounting (pure functions of the graph).
+	for i := range units {
+		for _, s := range [2]buildSrc{units[i].a, units[i].b} {
+			if s.unit >= 0 {
+				units[s.unit].waiters = append(units[s.unit].waiters, i)
+				units[s.unit].uses++
+				units[i].deps++
+			}
+		}
+	}
+	for _, o := range c.Outputs {
+		if s := gateSrc[o]; s.unit >= 0 {
+			units[s.unit].uses++
+		}
+	}
+
+	ready := make([]int, 0, len(units))
+	for i := range units {
+		if units[i].deps == 0 {
+			ready = append(ready, i)
+		}
+	}
+
+	resolve := func(s buildSrc) node.Ref {
+		switch {
+		case s.unit >= 0:
+			return units[s.unit].pin.Ref()
+		case s.pin != nil:
+			return s.pin.Ref()
+		default:
+			return s.ref
+		}
+	}
+	releaseUse := func(s buildSrc) {
+		if s.unit < 0 {
+			return
+		}
+		u := &units[s.unit]
+		u.uses--
+		if u.uses == 0 && u.pin != nil {
+			k.Unpin(u.pin)
+			u.pin = nil
+		}
+	}
+
+	completed := 0
+	ops := make([]core.BinOp, 0, maxBatch)
+	for len(ready) > 0 {
+		batch := ready
+		if len(batch) > maxBatch {
+			batch = batch[:maxBatch]
+		}
+		rest := ready[len(batch):]
+
+		ops = ops[:0]
+		for _, id := range batch {
+			u := &units[id]
+			ops = append(ops, core.BinOp{Op: u.op, F: resolve(u.a), G: resolve(u.b)})
+		}
+		results := k.ApplyBatch(ops)
+
+		newReady := append([]int(nil), rest...)
+		for bi, id := range batch {
+			u := &units[id]
+			u.pin = k.Pin(results[bi])
+			u.done = true
+			completed++
+			releaseUse(u.a)
+			releaseUse(u.b)
+			for _, wid := range u.waiters {
+				units[wid].deps--
+				if units[wid].deps == 0 {
+					newReady = append(newReady, wid)
+				}
+			}
+		}
+		ready = newReady
+	}
+	if completed != len(units) {
+		return nil, fmt.Errorf("netlist: internal scheduling error: %d of %d units built",
+			completed, len(units))
+	}
+
+	res := &BuildResult{kernel: k}
+	for _, o := range c.Outputs {
+		res.Outputs = append(res.Outputs, k.Pin(resolve(gateSrc[o])))
+	}
+	for _, o := range c.Outputs {
+		releaseUse(gateSrc[o])
+	}
+	for i := range units {
+		if units[i].pin != nil {
+			k.Unpin(units[i].pin)
+			units[i].pin = nil
+		}
+	}
+	for _, p := range varPins {
+		k.Unpin(p)
+	}
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package netlist
+
+import (
+	"testing"
+
+	"bfbdd/internal/core"
+)
+
+// checkBatchedAgainstBuild verifies that batched and sequential builds
+// produce identical canonical refs within one kernel.
+func checkBatchedAgainstBuild(t *testing.T, k *core.Kernel, c *Circuit, batch int) {
+	t.Helper()
+	lv := identityOrder(c.NumInputs())
+	r1, err := Build(k, c, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := BuildBatched(k, c, lv, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs1, refs2 := r1.Refs(), r2.Refs()
+	for i := range refs1 {
+		if refs1[i] != refs2[i] {
+			t.Fatalf("output %d: batched %v != sequential %v", i, refs2[i], refs1[i])
+		}
+	}
+	r1.Release()
+	r2.Release()
+}
+
+func TestBuildBatchedMatchesBuild(t *testing.T) {
+	circuits := []*Circuit{
+		Multiplier(5),
+		RippleAdder(6),
+		Comparator(4),
+		Parity(9),
+		Random(8, 80, 3),
+	}
+	for _, c := range circuits {
+		for name, k := range buildKernels(c.NumInputs()) {
+			t.Run(c.Name+"/"+name, func(t *testing.T) {
+				checkBatchedAgainstBuild(t, k, c, 0)
+			})
+		}
+	}
+}
+
+func TestBuildBatchedSmallBatches(t *testing.T) {
+	// Batch size 1 degenerates to sequential issue; 3 exercises partial
+	// ready sets.
+	c := Multiplier(4)
+	for _, batch := range []int{1, 3, 1000} {
+		k := core.NewKernel(core.Options{
+			Levels: c.NumInputs(), Engine: core.EnginePar, Workers: 2,
+			EvalThreshold: 64, GroupSize: 8, Stealing: true,
+		})
+		checkBatchedAgainstBuild(t, k, c, batch)
+	}
+}
+
+func TestBuildBatchedSemantics(t *testing.T) {
+	c := C3540LikeScaled(5)
+	k := core.NewKernel(core.Options{
+		Levels: c.NumInputs(), Engine: core.EnginePar, Workers: 4,
+		EvalThreshold: 128, GroupSize: 16, Stealing: true,
+	})
+	lv := identityOrder(c.NumInputs())
+	res, err := BuildBatched(k, c, lv, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	// Verify against gate-level simulation on random vectors.
+	assign := make([]bool, k.Levels())
+	in := make([]bool, c.NumInputs())
+	for trial := 0; trial < 128; trial++ {
+		for i := range in {
+			in[i] = (trial*31+i*7)%3 == 0
+		}
+		copy(assign, in)
+		want := c.Eval(in)
+		for o, r := range res.Refs() {
+			if got := k.Eval(r, assign); got != want[o] {
+				t.Fatalf("trial %d output %d: BDD=%v sim=%v", trial, o, got, want[o])
+			}
+		}
+	}
+}
+
+func TestBuildBatchedWithGC(t *testing.T) {
+	c := Multiplier(5)
+	k := core.NewKernel(core.Options{
+		Levels: c.NumInputs(), Engine: core.EnginePar, Workers: 3,
+		EvalThreshold: 64, GroupSize: 8, Stealing: true,
+		GCMinNodes: 64, GCGrowth: 1.15,
+	})
+	lv := identityOrder(c.NumInputs())
+	res, err := BuildBatched(k, c, lv, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	if k.Memory().GCCount == 0 {
+		t.Fatal("expected batch-boundary collections")
+	}
+	// Compare against a fresh sequential build.
+	k2 := core.NewKernel(core.Options{Levels: c.NumInputs(), Engine: core.EngineDF})
+	res2, err := Build(k2, c, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Release()
+	for i := range res.Refs() {
+		if k.Size(res.Refs()[i]) != k2.Size(res2.Refs()[i]) {
+			t.Fatalf("output %d: size diverged after GC-heavy batched build", i)
+		}
+	}
+}
+
+func TestBuildBatchedPinHygiene(t *testing.T) {
+	c := Multiplier(4)
+	k := core.NewKernel(core.Options{
+		Levels: c.NumInputs(), Engine: core.EnginePar, Workers: 2, Stealing: true,
+	})
+	res, err := BuildBatched(k, c, identityOrder(c.NumInputs()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NumPins() != c.NumOutputs() {
+		t.Fatalf("pins after batched build = %d want %d", k.NumPins(), c.NumOutputs())
+	}
+	res.Release()
+	if k.NumPins() != 0 {
+		t.Fatalf("pins after release = %d", k.NumPins())
+	}
+	k.GC()
+	if k.NumNodes() != 0 {
+		t.Fatalf("nodes after release+GC = %d", k.NumNodes())
+	}
+}
+
+func TestBuildBatchedBuffersAndConstants(t *testing.T) {
+	c := New("bufconst")
+	a := c.AddInput("a")
+	one := c.AddGate(GateConst1, "one")
+	buf := c.AddGate(GateBuf, "buf", a)
+	buf2 := c.AddGate(GateBuf, "buf2", buf)
+	g := c.AddGate(GateAnd, "g", buf2, one)
+	c.MarkOutput(g)
+	c.MarkOutput(buf) // output aliasing an input through a buffer
+	k := core.NewKernel(core.Options{Levels: 1, Engine: core.EnginePar, Workers: 2})
+	res, err := BuildBatched(k, c, []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	refs := res.Refs()
+	if refs[0] != refs[1] {
+		t.Fatalf("a AND 1 (%v) should equal buffered a (%v)", refs[0], refs[1])
+	}
+}

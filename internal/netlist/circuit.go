@@ -1,0 +1,287 @@
+// Package netlist provides combinational circuit netlists in the style of
+// the ISCAS85 benchmark suite the paper evaluates on: a gate-level
+// representation, a simulator (used as the test oracle), a parser/writer
+// for the .bench format, generators for the paper's circuits (the
+// C6288-style array multiplier behind mult-13/mult-14, and synthetic
+// stand-ins for C2670/C3540 — see DESIGN.md §2 for the substitution
+// rationale), and a BDD builder that symbolically evaluates a circuit.
+package netlist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GateType enumerates the supported gate functions.
+type GateType int
+
+// The gate vocabulary of the ISCAS85 netlists.
+const (
+	GateInput GateType = iota
+	GateAnd
+	GateOr
+	GateNand
+	GateNor
+	GateXor
+	GateXnor
+	GateNot
+	GateBuf
+	GateConst0
+	GateConst1
+)
+
+var gateNames = map[GateType]string{
+	GateInput: "INPUT", GateAnd: "AND", GateOr: "OR", GateNand: "NAND",
+	GateNor: "NOR", GateXor: "XOR", GateXnor: "XNOR", GateNot: "NOT",
+	GateBuf: "BUFF", GateConst0: "CONST0", GateConst1: "CONST1",
+}
+
+// String returns the .bench mnemonic of the gate type.
+func (t GateType) String() string {
+	if s, ok := gateNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("GATE(%d)", int(t))
+}
+
+// arity returns (min, max) fanin counts; max -1 means unbounded.
+func (t GateType) arity() (int, int) {
+	switch t {
+	case GateInput, GateConst0, GateConst1:
+		return 0, 0
+	case GateNot, GateBuf:
+		return 1, 1
+	case GateXor, GateXnor:
+		return 2, -1
+	default:
+		return 2, -1
+	}
+}
+
+// Eval evaluates the gate function on its fanin values.
+func (t GateType) Eval(in []bool) bool {
+	switch t {
+	case GateConst0:
+		return false
+	case GateConst1:
+		return true
+	case GateNot:
+		return !in[0]
+	case GateBuf:
+		return in[0]
+	case GateAnd, GateNand:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		if t == GateNand {
+			return !v
+		}
+		return v
+	case GateOr, GateNor:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		if t == GateNor {
+			return !v
+		}
+		return v
+	case GateXor, GateXnor:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		if t == GateXnor {
+			return !v
+		}
+		return v
+	}
+	panic("netlist: Eval on " + t.String())
+}
+
+// Gate is one vertex of the netlist DAG.
+type Gate struct {
+	Name  string
+	Type  GateType
+	Fanin []int // indices into Circuit.Gates
+}
+
+// Circuit is a combinational netlist. Gates are stored in creation order,
+// which the constructors keep topological (fanins precede their gates);
+// Parse re-topologizes arbitrary input.
+type Circuit struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []int // gate indices of primary inputs, in declaration order
+	Outputs []int // gate indices of primary outputs, in declaration order
+
+	byName map[string]int
+}
+
+// New creates an empty circuit.
+func New(name string) *Circuit {
+	return &Circuit{Name: name, byName: make(map[string]int)}
+}
+
+// NumInputs returns the primary input count.
+func (c *Circuit) NumInputs() int { return len(c.Inputs) }
+
+// NumOutputs returns the primary output count.
+func (c *Circuit) NumOutputs() int { return len(c.Outputs) }
+
+// NumGates returns the total gate count (including inputs).
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// AddInput declares a primary input and returns its gate index.
+func (c *Circuit) AddInput(name string) int {
+	idx := c.addGate(Gate{Name: name, Type: GateInput})
+	c.Inputs = append(c.Inputs, idx)
+	return idx
+}
+
+// AddGate appends a gate and returns its index. Fanins must already exist.
+func (c *Circuit) AddGate(t GateType, name string, fanin ...int) int {
+	lo, hi := t.arity()
+	if len(fanin) < lo || (hi >= 0 && len(fanin) > hi) {
+		panic(fmt.Sprintf("netlist: %s gate %q with %d fanins", t, name, len(fanin)))
+	}
+	for _, f := range fanin {
+		if f < 0 || f >= len(c.Gates) {
+			panic(fmt.Sprintf("netlist: gate %q fanin %d out of range", name, f))
+		}
+	}
+	return c.addGate(Gate{Name: name, Type: t, Fanin: append([]int(nil), fanin...)})
+}
+
+func (c *Circuit) addGate(g Gate) int {
+	if g.Name != "" {
+		if _, dup := c.byName[g.Name]; dup {
+			panic(fmt.Sprintf("netlist: duplicate gate name %q", g.Name))
+		}
+	}
+	idx := len(c.Gates)
+	c.Gates = append(c.Gates, g)
+	if g.Name != "" {
+		c.byName[g.Name] = idx
+	}
+	return idx
+}
+
+// MarkOutput declares gate idx a primary output.
+func (c *Circuit) MarkOutput(idx int) {
+	if idx < 0 || idx >= len(c.Gates) {
+		panic("netlist: MarkOutput index out of range")
+	}
+	c.Outputs = append(c.Outputs, idx)
+}
+
+// GateByName returns the index of the named gate.
+func (c *Circuit) GateByName(name string) (int, bool) {
+	idx, ok := c.byName[name]
+	return idx, ok
+}
+
+// Validate checks structural well-formedness: in-range topologically
+// ordered fanins, correct arities, declared inputs/outputs.
+func (c *Circuit) Validate() error {
+	for i, g := range c.Gates {
+		lo, hi := g.Type.arity()
+		if len(g.Fanin) < lo || (hi >= 0 && len(g.Fanin) > hi) {
+			return fmt.Errorf("netlist: gate %d (%s %q) has %d fanins", i, g.Type, g.Name, len(g.Fanin))
+		}
+		for _, f := range g.Fanin {
+			if f < 0 || f >= len(c.Gates) {
+				return fmt.Errorf("netlist: gate %d fanin %d out of range", i, f)
+			}
+			if f >= i {
+				return fmt.Errorf("netlist: gate %d not topologically ordered (fanin %d)", i, f)
+			}
+		}
+	}
+	for _, in := range c.Inputs {
+		if c.Gates[in].Type != GateInput {
+			return fmt.Errorf("netlist: declared input %d is a %s", in, c.Gates[in].Type)
+		}
+	}
+	if len(c.Outputs) == 0 {
+		return errors.New("netlist: circuit has no outputs")
+	}
+	for _, out := range c.Outputs {
+		if out < 0 || out >= len(c.Gates) {
+			return fmt.Errorf("netlist: output %d out of range", out)
+		}
+	}
+	return nil
+}
+
+// Eval simulates the circuit on the given input values (in Inputs order)
+// and returns the output values (in Outputs order). It is the gate-level
+// oracle used to validate generators and the BDD builder.
+func (c *Circuit) Eval(inputs []bool) []bool {
+	if len(inputs) != len(c.Inputs) {
+		panic(fmt.Sprintf("netlist: Eval with %d inputs, circuit has %d", len(inputs), len(c.Inputs)))
+	}
+	vals := make([]bool, len(c.Gates))
+	for i, in := range c.Inputs {
+		vals[in] = inputs[i]
+	}
+	var buf []bool
+	for i, g := range c.Gates {
+		if g.Type == GateInput {
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range g.Fanin {
+			buf = append(buf, vals[f])
+		}
+		vals[i] = g.Type.Eval(buf)
+	}
+	outs := make([]bool, len(c.Outputs))
+	for i, o := range c.Outputs {
+		outs[i] = vals[o]
+	}
+	return outs
+}
+
+// FanoutCounts returns, for every gate, the number of gates reading it
+// plus one per primary-output declaration. The BDD builder uses this for
+// reference-count-driven garbage collection of intermediate results.
+func (c *Circuit) FanoutCounts() []int {
+	counts := make([]int, len(c.Gates))
+	for _, g := range c.Gates {
+		for _, f := range g.Fanin {
+			counts[f]++
+		}
+	}
+	for _, o := range c.Outputs {
+		counts[o]++
+	}
+	return counts
+}
+
+// Depth returns the maximum logic depth (inputs have depth 0).
+func (c *Circuit) Depth() int {
+	depth := make([]int, len(c.Gates))
+	maxDepth := 0
+	for i, g := range c.Gates {
+		for _, f := range g.Fanin {
+			if depth[f]+1 > depth[i] {
+				depth[i] = depth[f] + 1
+			}
+		}
+		if depth[i] > maxDepth {
+			maxDepth = depth[i]
+		}
+	}
+	return maxDepth
+}
+
+// CountByType returns the number of gates of each type.
+func (c *Circuit) CountByType() map[GateType]int {
+	m := make(map[GateType]int)
+	for _, g := range c.Gates {
+		m[g.Type]++
+	}
+	return m
+}

@@ -1,0 +1,119 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FaultKind selects a fault model for InjectFault.
+type FaultKind int
+
+// The supported fault models, in the spirit of the paper's motivation
+// (§1): an incorrect implementation whose BDD differs from the
+// specification's, detectable by equivalence checking with a
+// counterexample extracted from the XOR of the two diagrams.
+const (
+	// FaultWrongGate replaces a gate's function with a different one of
+	// the same arity (e.g. AND→OR).
+	FaultWrongGate FaultKind = iota
+	// FaultStuckAt0 replaces a gate with the constant 0.
+	FaultStuckAt0
+	// FaultStuckAt1 replaces a gate with the constant 1.
+	FaultStuckAt1
+	// FaultSwappedFanin swaps the first two fanins of a gate (visible for
+	// non-commutative structures through reconvergence).
+	FaultSwappedFanin
+)
+
+// String returns the fault model name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultWrongGate:
+		return "wrong-gate"
+	case FaultStuckAt0:
+		return "stuck-at-0"
+	case FaultStuckAt1:
+		return "stuck-at-1"
+	case FaultSwappedFanin:
+		return "swapped-fanin"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault describes one injected fault.
+type Fault struct {
+	Kind FaultKind
+	Gate int // index of the mutated gate
+	Prev GateType
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	cp := New(c.Name)
+	for _, g := range c.Gates {
+		cp.addGate(Gate{Name: g.Name, Type: g.Type, Fanin: append([]int(nil), g.Fanin...)})
+	}
+	cp.Inputs = append([]int(nil), c.Inputs...)
+	cp.Outputs = append([]int(nil), c.Outputs...)
+	return cp
+}
+
+// InjectFault returns a copy of the circuit with one pseudo-random fault
+// of the given kind (deterministic per seed), plus a description of what
+// was mutated. It never mutates primary inputs. The fault is structural;
+// whether it is observable at the outputs depends on the circuit (test
+// with BDD equivalence checking).
+func InjectFault(c *Circuit, kind FaultKind, seed int64) (*Circuit, Fault, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cp := c.Clone()
+
+	var candidates []int
+	for i, g := range cp.Gates {
+		switch g.Type {
+		case GateInput, GateConst0, GateConst1:
+			continue
+		}
+		switch kind {
+		case FaultWrongGate:
+			if len(g.Fanin) >= 2 {
+				candidates = append(candidates, i)
+			}
+		case FaultSwappedFanin:
+			if len(g.Fanin) >= 2 && g.Fanin[0] != g.Fanin[1] {
+				candidates = append(candidates, i)
+			}
+		default:
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, Fault{}, fmt.Errorf("netlist: no gate eligible for %v fault", kind)
+	}
+	gi := candidates[rng.Intn(len(candidates))]
+	g := &cp.Gates[gi]
+	fault := Fault{Kind: kind, Gate: gi, Prev: g.Type}
+
+	switch kind {
+	case FaultWrongGate:
+		alternatives := []GateType{GateAnd, GateOr, GateNand, GateNor, GateXor, GateXnor}
+		for {
+			alt := alternatives[rng.Intn(len(alternatives))]
+			if alt != g.Type {
+				g.Type = alt
+				break
+			}
+		}
+	case FaultStuckAt0:
+		g.Type = GateConst0
+		g.Fanin = nil
+	case FaultStuckAt1:
+		g.Type = GateConst1
+		g.Fanin = nil
+	case FaultSwappedFanin:
+		g.Fanin[0], g.Fanin[1] = g.Fanin[1], g.Fanin[0]
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, Fault{}, fmt.Errorf("netlist: fault injection broke the circuit: %w", err)
+	}
+	return cp, fault, nil
+}

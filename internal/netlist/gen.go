@@ -1,0 +1,553 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Word is a little-endian vector of gate indices (bit 0 first).
+type Word []int
+
+// inputWord declares w named input bits ("<base>0".."<base>{w-1}").
+func inputWord(c *Circuit, base string, w int) Word {
+	bits := make(Word, w)
+	for i := range bits {
+		bits[i] = c.AddInput(fmt.Sprintf("%s%d", base, i))
+	}
+	return bits
+}
+
+// constBit returns a constant gate (memoized per circuit would be nicer,
+// but constants are rare; a fresh gate keeps the builder simple).
+func constBit(c *Circuit, v bool) int {
+	t := GateConst0
+	if v {
+		t = GateConst1
+	}
+	return c.AddGate(t, "")
+}
+
+// halfAdder returns (sum, carry) of two bits.
+func halfAdder(c *Circuit, a, b int) (sum, carry int) {
+	return c.AddGate(GateXor, "", a, b), c.AddGate(GateAnd, "", a, b)
+}
+
+// fullAdder returns (sum, carry) of three bits.
+func fullAdder(c *Circuit, a, b, cin int) (sum, carry int) {
+	axb := c.AddGate(GateXor, "", a, b)
+	sum = c.AddGate(GateXor, "", axb, cin)
+	t1 := c.AddGate(GateAnd, "", a, b)
+	t2 := c.AddGate(GateAnd, "", axb, cin)
+	carry = c.AddGate(GateOr, "", t1, t2)
+	return sum, carry
+}
+
+// rippleAdd builds a ripple-carry adder over equal-width words, returning
+// the sum word and the carry out.
+func rippleAdd(c *Circuit, a, b Word, cin int) (Word, int) {
+	if len(a) != len(b) {
+		panic("netlist: rippleAdd width mismatch")
+	}
+	sum := make(Word, len(a))
+	carry := cin
+	for i := range a {
+		if carry < 0 {
+			sum[i], carry = halfAdder(c, a[i], b[i])
+		} else {
+			sum[i], carry = fullAdder(c, a[i], b[i], carry)
+		}
+	}
+	return sum, carry
+}
+
+// RippleAdder generates a w-bit ripple-carry adder circuit with inputs
+// a0..a{w-1}, b0..b{w-1}, cin and outputs s0..s{w-1}, cout.
+func RippleAdder(w int) *Circuit {
+	c := New(fmt.Sprintf("radd-%d", w))
+	a := inputWord(c, "a", w)
+	b := inputWord(c, "b", w)
+	cin := c.AddInput("cin")
+	sum, cout := rippleAdd(c, a, b, cin)
+	for _, s := range sum {
+		c.MarkOutput(s)
+	}
+	c.MarkOutput(cout)
+	return c
+}
+
+// CarryLookaheadAdder generates a w-bit adder with 4-bit lookahead groups:
+// a structurally different adder computing the same function as
+// RippleAdder, used by the equivalence-checking example.
+func CarryLookaheadAdder(w int) *Circuit {
+	c := New(fmt.Sprintf("cla-%d", w))
+	a := inputWord(c, "a", w)
+	b := inputWord(c, "b", w)
+	cin := c.AddInput("cin")
+
+	p := make([]int, w) // propagate
+	g := make([]int, w) // generate
+	for i := 0; i < w; i++ {
+		p[i] = c.AddGate(GateXor, "", a[i], b[i])
+		g[i] = c.AddGate(GateAnd, "", a[i], b[i])
+	}
+	carry := make([]int, w+1)
+	carry[0] = cin
+	for base := 0; base < w; base += 4 {
+		end := min(base+4, w)
+		for i := base; i < end; i++ {
+			// c[i+1] = g[i] + p[i]·g[i-1] + ... + p[i]···p[base]·c[base]
+			terms := []int{g[i]}
+			for j := i - 1; j >= base; j-- {
+				t := g[j]
+				for m := j + 1; m <= i; m++ {
+					t = c.AddGate(GateAnd, "", t, p[m])
+				}
+				terms = append(terms, t)
+			}
+			t := carry[base]
+			for m := base; m <= i; m++ {
+				t = c.AddGate(GateAnd, "", t, p[m])
+			}
+			terms = append(terms, t)
+			acc := terms[0]
+			for _, term := range terms[1:] {
+				acc = c.AddGate(GateOr, "", acc, term)
+			}
+			carry[i+1] = acc
+		}
+	}
+	for i := 0; i < w; i++ {
+		c.MarkOutput(c.AddGate(GateXor, "", p[i], carry[i]))
+	}
+	c.MarkOutput(carry[w])
+	return c
+}
+
+// Multiplier generates an n×n array multiplier in the structure of the
+// ISCAS85 C6288 circuit: an n×n matrix of partial-product AND gates
+// summed by an array of half/full adders. The paper built its mult-13 and
+// mult-14 workloads by regenerating exactly this structure at 13 and 14
+// bits; Multiplier(16) corresponds to C6288 itself.
+func Multiplier(n int) *Circuit {
+	c := New(fmt.Sprintf("mult-%d", n))
+	a := inputWord(c, "a", n)
+	b := inputWord(c, "b", n)
+
+	// Partial products pp[i][j] = a[j] AND b[i], weight i+j.
+	pp := make([][]int, n)
+	for i := range pp {
+		pp[i] = make([]int, n)
+		for j := range pp[i] {
+			pp[i][j] = c.AddGate(GateAnd, "", a[j], b[i])
+		}
+	}
+
+	// Accumulate row by row: acc holds the running sum bits, one column
+	// per output weight, rippling each row's carries like the C6288
+	// adder array.
+	acc := make(Word, 2*n)
+	zero := constBit(c, false)
+	for w := range acc {
+		acc[w] = zero
+	}
+	for j := 0; j < n; j++ {
+		acc[j] = pp[0][j]
+	}
+	for i := 1; i < n; i++ {
+		carry := -1
+		for j := 0; j < n; j++ {
+			w := i + j
+			if carry < 0 {
+				acc[w], carry = halfAdder(c, acc[w], pp[i][j])
+			} else {
+				acc[w], carry = fullAdder(c, acc[w], pp[i][j], carry)
+			}
+		}
+		// Propagate the final carry into the higher columns.
+		for w := i + n; w < 2*n && carry >= 0; w++ {
+			acc[w], carry = halfAdder(c, acc[w], carry)
+		}
+	}
+	for _, bit := range acc {
+		c.MarkOutput(bit)
+	}
+	return c
+}
+
+// Comparator generates a w-bit magnitude comparator with outputs
+// lt (a < b), eq (a == b), gt (a > b).
+func Comparator(w int) *Circuit {
+	c := New(fmt.Sprintf("cmp-%d", w))
+	a := inputWord(c, "a", w)
+	b := inputWord(c, "b", w)
+	lt, eq := comparatorInto(c, a, b)
+	gt := c.AddGate(GateNor, "", lt, eq)
+	c.MarkOutput(lt)
+	c.MarkOutput(eq)
+	c.MarkOutput(gt)
+	return c
+}
+
+// comparatorInto builds lt/eq networks over existing words.
+func comparatorInto(c *Circuit, a, b Word) (lt, eq int) {
+	// From the most significant bit down: lt = Σ (eq_above · ¬a_i · b_i).
+	w := len(a)
+	eq = constBit(c, true)
+	lt = constBit(c, false)
+	for i := w - 1; i >= 0; i-- {
+		na := c.AddGate(GateNot, "", a[i])
+		bitLt := c.AddGate(GateAnd, "", na, b[i])
+		term := c.AddGate(GateAnd, "", eq, bitLt)
+		lt = c.AddGate(GateOr, "", lt, term)
+		bitEq := c.AddGate(GateXnor, "", a[i], b[i])
+		eq = c.AddGate(GateAnd, "", eq, bitEq)
+	}
+	return lt, eq
+}
+
+// PriorityEncoder generates a w-input priority encoder: outputs the index
+// of the highest-numbered asserted input (ceil(log2 w) bits) plus a
+// "valid" flag.
+func PriorityEncoder(w int) *Circuit {
+	c := New(fmt.Sprintf("prio-%d", w))
+	in := inputWord(c, "r", w)
+	enc, valid := priorityEncoderInto(c, in)
+	for _, bit := range enc {
+		c.MarkOutput(bit)
+	}
+	c.MarkOutput(valid)
+	return c
+}
+
+func priorityEncoderInto(c *Circuit, in Word) (Word, int) {
+	w := len(in)
+	bits := 0
+	for 1<<bits < w {
+		bits++
+	}
+	// highest[i] = in[i] AND NOT(any higher input).
+	anyAbove := constBit(c, false)
+	highest := make([]int, w)
+	for i := w - 1; i >= 0; i-- {
+		notAbove := c.AddGate(GateNot, "", anyAbove)
+		highest[i] = c.AddGate(GateAnd, "", in[i], notAbove)
+		anyAbove = c.AddGate(GateOr, "", anyAbove, in[i])
+	}
+	enc := make(Word, bits)
+	for bpos := 0; bpos < bits; bpos++ {
+		acc := constBit(c, false)
+		for i := 0; i < w; i++ {
+			if i>>bpos&1 == 1 {
+				acc = c.AddGate(GateOr, "", acc, highest[i])
+			}
+		}
+		enc[bpos] = acc
+	}
+	return enc, anyAbove
+}
+
+// mux2 returns sel ? a1 : a0.
+func mux2(c *Circuit, sel, a0, a1 int) int {
+	ns := c.AddGate(GateNot, "", sel)
+	t0 := c.AddGate(GateAnd, "", ns, a0)
+	t1 := c.AddGate(GateAnd, "", sel, a1)
+	return c.AddGate(GateOr, "", t0, t1)
+}
+
+// muxWord selects between equal-width words.
+func muxWord(c *Circuit, sel int, a0, a1 Word) Word {
+	out := make(Word, len(a0))
+	for i := range out {
+		out[i] = mux2(c, sel, a0[i], a1[i])
+	}
+	return out
+}
+
+// aluInto builds a w-bit ALU over existing operand words with a 3-bit
+// opcode: 0 add, 1 sub, 2 and, 3 or, 4 xor, 5 nor, 6 shift-left-1,
+// 7 pass-a. Returns the result word, carry-out, and zero flag.
+func aluInto(c *Circuit, a, b Word, op [3]int, cin int) (Word, int, int) {
+	w := len(a)
+	// Arithmetic unit: a + (b XOR sub) + (cin OR sub) — sub = op==1.
+	nop2 := c.AddGate(GateNot, "", op[2])
+	nop1 := c.AddGate(GateNot, "", op[1])
+	sub := c.AddGate(GateAnd, "", c.AddGate(GateAnd, "", nop2, nop1), op[0])
+	bx := make(Word, w)
+	for i := range bx {
+		bx[i] = c.AddGate(GateXor, "", b[i], sub)
+	}
+	carryIn := c.AddGate(GateOr, "", cin, sub)
+	sum, cout := rippleAdd(c, a, bx, carryIn)
+
+	andW := make(Word, w)
+	orW := make(Word, w)
+	xorW := make(Word, w)
+	norW := make(Word, w)
+	shlW := make(Word, w)
+	for i := 0; i < w; i++ {
+		andW[i] = c.AddGate(GateAnd, "", a[i], b[i])
+		orW[i] = c.AddGate(GateOr, "", a[i], b[i])
+		xorW[i] = c.AddGate(GateXor, "", a[i], b[i])
+		norW[i] = c.AddGate(GateNor, "", a[i], b[i])
+		if i == 0 {
+			shlW[i] = constBit(c, false)
+		} else {
+			shlW[i] = c.AddGate(GateBuf, "", a[i-1])
+		}
+	}
+
+	// 8-way mux tree on the opcode.
+	m01 := muxWord(c, op[0], sum, sum) // op 0/1 both arithmetic
+	m23 := muxWord(c, op[0], andW, orW)
+	m45 := muxWord(c, op[0], xorW, norW)
+	m67 := muxWord(c, op[0], shlW, a)
+	lo := muxWord(c, op[1], m01, m23)
+	hi := muxWord(c, op[1], m45, m67)
+	res := muxWord(c, op[2], lo, hi)
+
+	zero := res[0]
+	for i := 1; i < w; i++ {
+		zero = c.AddGate(GateOr, "", zero, res[i])
+	}
+	zero = c.AddGate(GateNot, "", zero)
+	return res, cout, zero
+}
+
+// ALU generates a standalone w-bit ALU circuit.
+func ALU(w int) *Circuit {
+	c := New(fmt.Sprintf("alu-%d", w))
+	a := inputWord(c, "a", w)
+	b := inputWord(c, "b", w)
+	var op [3]int
+	for i := range op {
+		op[i] = c.AddInput(fmt.Sprintf("op%d", i))
+	}
+	cin := c.AddInput("cin")
+	res, cout, zero := aluInto(c, a, b, op, cin)
+	for _, bit := range res {
+		c.MarkOutput(bit)
+	}
+	c.MarkOutput(cout)
+	c.MarkOutput(zero)
+	return c
+}
+
+// multiplierInto builds an array multiplier over existing operand words,
+// returning the full product word (len(a)+len(b) bits).
+func multiplierInto(c *Circuit, a, b Word) Word {
+	n, m := len(a), len(b)
+	acc := make(Word, n+m)
+	zero := constBit(c, false)
+	for w := range acc {
+		acc[w] = zero
+	}
+	for j := 0; j < n; j++ {
+		acc[j] = c.AddGate(GateAnd, "", a[j], b[0])
+	}
+	for i := 1; i < m; i++ {
+		carry := -1
+		for j := 0; j < n; j++ {
+			pp := c.AddGate(GateAnd, "", a[j], b[i])
+			w := i + j
+			if carry < 0 {
+				acc[w], carry = halfAdder(c, acc[w], pp)
+			} else {
+				acc[w], carry = fullAdder(c, acc[w], pp, carry)
+			}
+		}
+		for w := i + n; w < len(acc) && carry >= 0; w++ {
+			acc[w], carry = halfAdder(c, acc[w], carry)
+		}
+	}
+	return acc
+}
+
+// C3540Like generates a synthetic stand-in for ISCAS85 C3540 (an 8-bit
+// ALU with binary/BCD arithmetic and control decoding): an 8-bit ALU, a
+// BCD-correction stage (add-6 when a nibble exceeds 9), flag logic, and a
+// multiply unit whose middle product bits are mixed into the data outputs
+// — the block that gives the circuit the "large, irregular BDD" character
+// of the real C3540. See DESIGN.md §2 for the substitution rationale.
+func C3540Like() *Circuit { return c3540LikeScaled(10) }
+
+// C3540LikeScaled exposes the stand-in with a configurable multiply-unit
+// width, letting the benchmark harness trade run time for fidelity.
+func C3540LikeScaled(mulBits int) *Circuit { return c3540LikeScaled(mulBits) }
+
+func c3540LikeScaled(mulBits int) *Circuit {
+	const w = 8
+	c := New("c3540-like")
+	a := inputWord(c, "a", w)
+	b := inputWord(c, "b", w)
+	var op [3]int
+	for i := range op {
+		op[i] = c.AddInput(fmt.Sprintf("op%d", i))
+	}
+	cin := c.AddInput("cin")
+	bcdMode := c.AddInput("bcd")
+	m1 := inputWord(c, "m", mulBits)
+	m2 := inputWord(c, "n", mulBits)
+
+	res, cout, zero := aluInto(c, a, b, op, cin)
+
+	// BCD correction: for each nibble whose pre-correction value exceeds
+	// 9, add 6; the correction word is added full-width so nibble carries
+	// propagate (5+7 = 0x0C corrects to 0x12).
+	zeroBit := constBit(c, false)
+	corrWord := make(Word, w)
+	for i := range corrWord {
+		corrWord[i] = zeroBit
+	}
+	for nib := 0; nib < w; nib += 4 {
+		n := res[nib : nib+4]
+		// >9 ⇔ bit3 & (bit2 | bit1)
+		gt9 := c.AddGate(GateAnd, "", n[3], c.AddGate(GateOr, "", n[2], n[1]))
+		doCorr := c.AddGate(GateAnd, "", gt9, bcdMode)
+		corrWord[nib+1] = doCorr
+		corrWord[nib+2] = doCorr
+	}
+	corrected, _ := rippleAdd(c, res, corrWord, -1) // -1: no carry in
+
+	// Multiply unit: the middle product bits (the BDD-hard ones) are
+	// XOR-mixed into the data outputs. With m = n = 0 the product is 0
+	// and the data outputs reduce to the plain BCD-corrected ALU.
+	prod := multiplierInto(c, m1, m2)
+	mid := mulBits - 2 // start of the hard middle bits
+	mixed := make(Word, w)
+	for i := 0; i < w; i++ {
+		mixed[i] = c.AddGate(GateXor, "", corrected[i], prod[(mid+i)%len(prod)])
+	}
+
+	parity := mixed[0]
+	for i := 1; i < w; i++ {
+		parity = c.AddGate(GateXor, "", parity, mixed[i])
+	}
+
+	for _, bit := range mixed {
+		c.MarkOutput(bit)
+	}
+	c.MarkOutput(cout)
+	c.MarkOutput(zero)
+	c.MarkOutput(parity)
+	return c
+}
+
+// C2670Like generates a synthetic stand-in for ISCAS85 C2670 (a 12-bit
+// ALU and controller): a 12-bit ALU, a 12-bit comparator, a 12-way
+// priority encoder with an interrupt-style control block merged through
+// output muxes, and a multiply unit whose middle product bits are mixed
+// into the muxed outputs to reproduce the real circuit's large irregular
+// BDDs. See DESIGN.md §2 for the substitution rationale.
+func C2670Like() *Circuit { return c2670LikeScaled(10) }
+
+// C2670LikeScaled exposes the stand-in with a configurable multiply-unit
+// width, letting the benchmark harness trade run time for fidelity.
+func C2670LikeScaled(mulBits int) *Circuit { return c2670LikeScaled(mulBits) }
+
+func c2670LikeScaled(mulBits int) *Circuit {
+	const w = 12
+	c := New("c2670-like")
+	a := inputWord(c, "a", w)
+	b := inputWord(c, "b", w)
+	var op [3]int
+	for i := range op {
+		op[i] = c.AddInput(fmt.Sprintf("op%d", i))
+	}
+	cin := c.AddInput("cin")
+	irq := inputWord(c, "irq", w)
+	mask := inputWord(c, "mask", w)
+	sel := c.AddInput("sel")
+	m1 := inputWord(c, "m", mulBits)
+	m2 := inputWord(c, "n", mulBits)
+
+	res, cout, zero := aluInto(c, a, b, op, cin)
+	lt, eq := comparatorInto(c, a, b)
+
+	masked := make(Word, w)
+	for i := 0; i < w; i++ {
+		masked[i] = c.AddGate(GateAnd, "", irq[i], mask[i])
+	}
+	enc, valid := priorityEncoderInto(c, masked)
+
+	// Output stage: mux the ALU result against the zero-extended encoder
+	// output under sel.
+	encExt := make(Word, w)
+	for i := range encExt {
+		if i < len(enc) {
+			encExt[i] = enc[i]
+		} else {
+			encExt[i] = constBit(c, false)
+		}
+	}
+	out := muxWord(c, sel, res, encExt)
+
+	// Multiply unit: mix middle product bits into the outputs (a no-op
+	// when m = n = 0), plus a product-vs-operand comparator flag. The
+	// comparison is against the independent b word: comparing against the
+	// ALU-mixed outputs would square the BDD sizes and dwarf the real
+	// circuit's difficulty.
+	prod := multiplierInto(c, m1, m2)
+	mid := mulBits - 2
+	for i := range out {
+		out[i] = c.AddGate(GateXor, "", out[i], prod[(mid+i)%len(prod)])
+	}
+	// Zero-extend the product to the comparator width for small
+	// multiply-unit scales.
+	cmpWord := make(Word, w)
+	for i := range cmpWord {
+		if i < len(prod) {
+			cmpWord[i] = prod[i]
+		} else {
+			cmpWord[i] = constBit(c, false)
+		}
+	}
+	pLT, _ := comparatorInto(c, cmpWord, b)
+
+	for _, bit := range out {
+		c.MarkOutput(bit)
+	}
+	c.MarkOutput(cout)
+	c.MarkOutput(zero)
+	c.MarkOutput(lt)
+	c.MarkOutput(eq)
+	c.MarkOutput(valid)
+	c.MarkOutput(pLT)
+	return c
+}
+
+// Parity generates an n-input XOR tree.
+func Parity(n int) *Circuit {
+	c := New(fmt.Sprintf("parity-%d", n))
+	in := inputWord(c, "x", n)
+	acc := in[0]
+	for i := 1; i < n; i++ {
+		acc = c.AddGate(GateXor, "", acc, in[i])
+	}
+	c.MarkOutput(acc)
+	return c
+}
+
+// Random generates a pseudo-random combinational circuit with the given
+// input and gate counts, for fuzzing the builders. The same seed always
+// yields the same circuit.
+func Random(inputs, gates int, seed int64) *Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := New(fmt.Sprintf("rand-%d-%d-%d", inputs, gates, seed))
+	inputWord(c, "x", inputs)
+	types := []GateType{GateAnd, GateOr, GateNand, GateNor, GateXor, GateXnor, GateNot}
+	for i := 0; i < gates; i++ {
+		t := types[rng.Intn(len(types))]
+		n := len(c.Gates)
+		if t == GateNot {
+			c.AddGate(t, "", rng.Intn(n))
+		} else {
+			c.AddGate(t, "", rng.Intn(n), rng.Intn(n))
+		}
+	}
+	// The last few gates become outputs.
+	outs := min(8, gates)
+	for i := len(c.Gates) - outs; i < len(c.Gates); i++ {
+		c.MarkOutput(i)
+	}
+	return c
+}

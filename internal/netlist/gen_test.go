@@ -1,0 +1,419 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bitsOf expands v into w little-endian bits.
+func bitsOf(v uint64, w int) []bool {
+	bits := make([]bool, w)
+	for i := range bits {
+		bits[i] = v>>i&1 == 1
+	}
+	return bits
+}
+
+// valOf packs bits little-endian.
+func valOf(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+func TestRippleAdderExhaustiveSmall(t *testing.T) {
+	const w = 4
+	c := RippleAdder(w)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 1<<w; a++ {
+		for b := uint64(0); b < 1<<w; b++ {
+			for cin := uint64(0); cin < 2; cin++ {
+				in := append(append(bitsOf(a, w), bitsOf(b, w)...), cin == 1)
+				out := c.Eval(in)
+				got := valOf(out) // w sum bits + carry = w+1 bit value
+				if got != a+b+cin {
+					t.Fatalf("%d+%d+%d = %d, circuit says %d", a, b, cin, a+b+cin, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRippleAdderRandomWide(t *testing.T) {
+	const w = 32
+	c := RippleAdder(w)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Uint64() & (1<<w - 1)
+		b := rng.Uint64() & (1<<w - 1)
+		cin := rng.Uint64() & 1
+		in := append(append(bitsOf(a, w), bitsOf(b, w)...), cin == 1)
+		if got := valOf(c.Eval(in)); got != a+b+cin {
+			t.Fatalf("%d+%d+%d: got %d", a, b, cin, got)
+		}
+	}
+}
+
+func TestCarryLookaheadMatchesRipple(t *testing.T) {
+	for _, w := range []int{3, 4, 8, 13} {
+		ra, cla := RippleAdder(w), CarryLookaheadAdder(w)
+		if err := cla.Validate(); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		rng := rand.New(rand.NewSource(int64(w)))
+		for trial := 0; trial < 100; trial++ {
+			a := rng.Uint64() & (1<<w - 1)
+			b := rng.Uint64() & (1<<w - 1)
+			cin := rng.Uint64() & 1
+			in := append(append(bitsOf(a, w), bitsOf(b, w)...), cin == 1)
+			o1, o2 := ra.Eval(in), cla.Eval(in)
+			if valOf(o1) != valOf(o2) {
+				t.Fatalf("w=%d: ripple %d != cla %d for %d+%d+%d", w, valOf(o1), valOf(o2), a, b, cin)
+			}
+		}
+	}
+}
+
+func TestMultiplierExhaustiveSmall(t *testing.T) {
+	const n = 4
+	c := Multiplier(n)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumOutputs() != 2*n {
+		t.Fatalf("outputs = %d want %d", c.NumOutputs(), 2*n)
+	}
+	for a := uint64(0); a < 1<<n; a++ {
+		for b := uint64(0); b < 1<<n; b++ {
+			in := append(bitsOf(a, n), bitsOf(b, n)...)
+			if got := valOf(c.Eval(in)); got != a*b {
+				t.Fatalf("%d*%d = %d, circuit says %d", a, b, a*b, got)
+			}
+		}
+	}
+}
+
+func TestMultiplierRandomWide(t *testing.T) {
+	for _, n := range []int{8, 13, 14} {
+		c := Multiplier(n)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 100; trial++ {
+			a := rng.Uint64() & (1<<n - 1)
+			b := rng.Uint64() & (1<<n - 1)
+			in := append(bitsOf(a, n), bitsOf(b, n)...)
+			if got := valOf(c.Eval(in)); got != a*b {
+				t.Fatalf("n=%d: %d*%d = %d, circuit says %d", n, a, b, a*b, got)
+			}
+		}
+	}
+}
+
+func TestComparator(t *testing.T) {
+	const w = 5
+	c := Comparator(w)
+	rng := rand.New(rand.NewSource(9))
+	check := func(a, b uint64) {
+		out := c.Eval(append(bitsOf(a, w), bitsOf(b, w)...))
+		lt, eq, gt := out[0], out[1], out[2]
+		if lt != (a < b) || eq != (a == b) || gt != (a > b) {
+			t.Fatalf("cmp(%d,%d) = lt%v eq%v gt%v", a, b, lt, eq, gt)
+		}
+	}
+	for a := uint64(0); a < 1<<w; a++ {
+		check(a, a)
+		check(a, rng.Uint64()&(1<<w-1))
+		check(rng.Uint64()&(1<<w-1), a)
+	}
+}
+
+func TestPriorityEncoder(t *testing.T) {
+	const w = 12
+	c := PriorityEncoder(w)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		req := rng.Uint64() & (1<<w - 1)
+		out := c.Eval(bitsOf(req, w))
+		bits := 0
+		for 1<<bits < w {
+			bits++
+		}
+		enc := valOf(out[:bits])
+		valid := out[bits]
+		if req == 0 {
+			if valid {
+				t.Fatalf("req=0 but valid")
+			}
+			continue
+		}
+		want := uint64(0)
+		for i := w - 1; i >= 0; i-- {
+			if req>>i&1 == 1 {
+				want = uint64(i)
+				break
+			}
+		}
+		if !valid || enc != want {
+			t.Fatalf("req=%012b: enc=%d valid=%v want %d", req, enc, valid, want)
+		}
+	}
+}
+
+// aluModel mirrors aluInto's specification.
+func aluModel(a, b uint64, op int, cin uint64, w int) (res uint64, cout, zero bool) {
+	mask := uint64(1)<<w - 1
+	switch op {
+	case 0:
+		full := a + b + cin
+		res, cout = full&mask, full>>w&1 == 1
+	case 1:
+		full := a + (^b & mask) + 1 // two's complement subtract (cin OR sub = 1)
+		if cin == 1 {
+			full = a + (^b & mask) + 1 // OR semantics: carry-in still 1
+		}
+		res, cout = full&mask, full>>w&1 == 1
+	case 2:
+		res = a & b
+	case 3:
+		res = a | b
+	case 4:
+		res = a ^ b
+	case 5:
+		res = ^(a | b) & mask
+	case 6:
+		res = a << 1 & mask
+	case 7:
+		res = a
+	}
+	return res, cout, res == 0
+}
+
+func TestALUAgainstModel(t *testing.T) {
+	const w = 8
+	c := ALU(w)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 500; trial++ {
+		a := rng.Uint64() & (1<<w - 1)
+		b := rng.Uint64() & (1<<w - 1)
+		op := rng.Intn(8)
+		cin := rng.Uint64() & 1
+		in := append(bitsOf(a, w), bitsOf(b, w)...)
+		in = append(in, bitsOf(uint64(op), 3)...)
+		in = append(in, cin == 1)
+		out := c.Eval(in)
+		res := valOf(out[:w])
+		wantRes, wantCout, wantZero := aluModel(a, b, op, cin, w)
+		if res != wantRes {
+			t.Fatalf("alu op%d(%d,%d,cin=%d): res %d want %d", op, a, b, cin, res, wantRes)
+		}
+		if op <= 1 && out[w] != wantCout {
+			t.Fatalf("alu op%d(%d,%d,cin=%d): cout %v want %v", op, a, b, cin, out[w], wantCout)
+		}
+		if out[w+1] != wantZero {
+			t.Fatalf("alu op%d(%d,%d): zero %v want %v", op, a, b, out[w+1], wantZero)
+		}
+	}
+}
+
+func TestParity(t *testing.T) {
+	const n = 9
+	c := Parity(n)
+	for v := uint64(0); v < 1<<n; v++ {
+		want := false
+		for i := 0; i < n; i++ {
+			want = want != (v>>i&1 == 1)
+		}
+		if got := c.Eval(bitsOf(v, n))[0]; got != want {
+			t.Fatalf("parity(%b) = %v want %v", v, got, want)
+		}
+	}
+}
+
+func TestC3540LikeStructure(t *testing.T) {
+	const mulBits = 6
+	c := C3540LikeScaled(mulBits)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mulZeros := make([]bool, 2*mulBits)
+	// ALU-portion spot check: bcd=0 and zero multiplier operands make the
+	// correction and multiply stages no-ops, so the data outputs must
+	// match the plain ALU model.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Uint64() & 0xFF
+		b := rng.Uint64() & 0xFF
+		op := rng.Intn(8)
+		cin := rng.Uint64() & 1
+		in := append(bitsOf(a, 8), bitsOf(b, 8)...)
+		in = append(in, bitsOf(uint64(op), 3)...)
+		in = append(in, cin == 1, false /* bcd off */)
+		in = append(in, mulZeros...)
+		out := c.Eval(in)
+		wantRes, _, _ := aluModel(a, b, op, cin, 8)
+		if got := valOf(out[:8]); got != wantRes {
+			t.Fatalf("c3540-like op%d(%d,%d,cin=%d): %d want %d", op, a, b, cin, got, wantRes)
+		}
+	}
+	// BCD correction: 5+7 in BCD-add mode must produce 0x12.
+	in := append(bitsOf(5, 8), bitsOf(7, 8)...)
+	in = append(in, bitsOf(0, 3)...) // op 0 = add
+	in = append(in, false, true)     // cin=0, bcd on
+	in = append(in, mulZeros...)
+	out := c.Eval(in)
+	if got := valOf(out[:8]); got != 0x12 {
+		t.Fatalf("BCD 5+7 = %#x want 0x12", got)
+	}
+	// Multiply unit: with a=b=0 and op=2 (AND) the ALU result is 0, so
+	// the data outputs expose the middle product bits directly.
+	rngM := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 100; trial++ {
+		m1 := rngM.Uint64() & (1<<mulBits - 1)
+		m2 := rngM.Uint64() & (1<<mulBits - 1)
+		in := make([]bool, 0, c.NumInputs())
+		in = append(in, bitsOf(0, 8)...) // a = 0
+		in = append(in, bitsOf(0, 8)...) // b = 0
+		in = append(in, bitsOf(2, 3)...) // op = AND
+		in = append(in, false, false)    // cin, bcd
+		in = append(in, bitsOf(m1, mulBits)...)
+		in = append(in, bitsOf(m2, mulBits)...)
+		out := c.Eval(in)
+		prod := m1 * m2
+		mid := mulBits - 2
+		for i := 0; i < 8; i++ {
+			want := prod>>((mid+i)%(2*mulBits))&1 == 1
+			if out[i] != want {
+				t.Fatalf("mul mix bit %d: got %v want %v (m1=%d m2=%d)", i, out[i], want, m1, m2)
+			}
+		}
+	}
+}
+
+func TestC2670LikeStructure(t *testing.T) {
+	const mulBits = 6
+	c := C2670LikeScaled(mulBits)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const w = 12
+	mulZeros := make([]bool, 2*mulBits)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Uint64() & (1<<w - 1)
+		b := rng.Uint64() & (1<<w - 1)
+		op := rng.Intn(8)
+		cin := rng.Uint64() & 1
+		irq := rng.Uint64() & (1<<w - 1)
+		mask := rng.Uint64() & (1<<w - 1)
+		sel := rng.Intn(2) == 1
+		in := append(bitsOf(a, w), bitsOf(b, w)...)
+		in = append(in, bitsOf(uint64(op), 3)...)
+		in = append(in, cin == 1)
+		in = append(in, bitsOf(irq, w)...)
+		in = append(in, bitsOf(mask, w)...)
+		in = append(in, sel)
+		in = append(in, mulZeros...)
+		out := c.Eval(in)
+
+		// Comparator flags are unconditional outputs.
+		lt, eq := out[w+2], out[w+3]
+		if lt != (a < b) || eq != (a == b) {
+			t.Fatalf("flags lt=%v eq=%v for a=%d b=%d", lt, eq, a, b)
+		}
+		if !sel {
+			wantRes, _, _ := aluModel(a, b, op, cin, w)
+			if got := valOf(out[:w]); got != wantRes {
+				t.Fatalf("sel=0 alu op%d: %d want %d", op, valOf(out[:w]), wantRes)
+			}
+		} else {
+			masked := irq & mask
+			valid := out[w+4]
+			if valid != (masked != 0) {
+				t.Fatalf("valid=%v for masked=%b", valid, masked)
+			}
+			if masked != 0 {
+				want := uint64(0)
+				for i := w - 1; i >= 0; i-- {
+					if masked>>i&1 == 1 {
+						want = uint64(i)
+						break
+					}
+				}
+				if got := valOf(out[:4]); got != want {
+					t.Fatalf("sel=1 encoder: %d want %d (masked=%b)", got, want, masked)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomCircuitDeterministic(t *testing.T) {
+	c1 := Random(10, 100, 7)
+	c2 := Random(10, 100, 7)
+	if err := c1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		in := make([]bool, 10)
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		o1, o2 := c1.Eval(in), c2.Eval(in)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatal("same seed, different circuits")
+			}
+		}
+	}
+	c3 := Random(10, 100, 8)
+	diff := false
+	for trial := 0; trial < 50 && !diff; trial++ {
+		in := make([]bool, 10)
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		o1, o3 := c1.Eval(in), c3.Eval(in)
+		for i := range o1 {
+			if o1[i] != o3[i] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical behaviour (suspicious)")
+	}
+}
+
+func TestCircuitStats(t *testing.T) {
+	c := Multiplier(4)
+	if c.Depth() == 0 {
+		t.Fatal("multiplier depth 0")
+	}
+	counts := c.CountByType()
+	if counts[GateInput] != 8 {
+		t.Fatalf("inputs = %d", counts[GateInput])
+	}
+	if counts[GateAnd] < 16 {
+		t.Fatalf("partial products missing: %d AND gates", counts[GateAnd])
+	}
+	fo := c.FanoutCounts()
+	total := 0
+	for _, f := range fo {
+		total += f
+	}
+	if total == 0 {
+		t.Fatal("no fanout recorded")
+	}
+}

@@ -1,0 +1,102 @@
+package node
+
+import "fmt"
+
+// Store owns all BDD node storage for one manager: a matrix of arenas
+// indexed by (worker, level). Worker 0 exists even in sequential mode; the
+// parallel engine gives each of its P workers its own arena row so that
+// node creation during the reduction phase allocates from worker-local
+// memory (the paper's per-process BDD-node managers).
+type Store struct {
+	workers int
+	levels  int
+	arenas  [][]Arena // [worker][level]
+}
+
+// NewStore creates a store for the given worker count and variable count.
+func NewStore(workers, levels int) *Store {
+	if workers < 1 || workers > MaxWorkers {
+		panic(fmt.Sprintf("node: worker count %d out of range [1,%d]", workers, MaxWorkers))
+	}
+	if levels < 0 || levels >= MaxLevels {
+		panic(fmt.Sprintf("node: level count %d out of range [0,%d)", levels, MaxLevels))
+	}
+	s := &Store{workers: workers, levels: levels}
+	s.arenas = make([][]Arena, workers)
+	for w := range s.arenas {
+		s.arenas[w] = make([]Arena, levels)
+	}
+	return s
+}
+
+// Workers returns the number of worker arena rows.
+func (s *Store) Workers() int { return s.workers }
+
+// Levels returns the number of variable levels.
+func (s *Store) Levels() int { return s.levels }
+
+// Arena returns the arena for (worker, level).
+func (s *Store) Arena(worker, level int) *Arena { return &s.arenas[worker][level] }
+
+// Node resolves a non-terminal Ref to its node. The caller must ensure r
+// is a valid non-terminal reference.
+func (s *Store) Node(r Ref) *Node {
+	return s.arenas[r.Worker()][r.Level()].At(r.Index())
+}
+
+// Low returns the 0-branch cofactor of r with respect to level: r's low
+// child if r's root is at level, else r itself (the variable does not
+// appear in r, so both cofactors are r).
+func (s *Store) Low(r Ref, level int) Ref {
+	if r.Level() == level {
+		return s.Node(r).Low
+	}
+	return r
+}
+
+// High returns the 1-branch cofactor of r with respect to level.
+func (s *Store) High(r Ref, level int) Ref {
+	if r.Level() == level {
+		return s.Node(r).High
+	}
+	return r
+}
+
+// NewNode allocates a node at (worker, level) and returns its Ref. It does
+// not consult any unique table; that is the caller's responsibility.
+func (s *Store) NewNode(worker, level int, low, high Ref) Ref {
+	idx := s.arenas[worker][level].Alloc(low, high)
+	return MakeRef(level, worker, idx)
+}
+
+// Bytes returns the total node-storage footprint across all arenas.
+func (s *Store) Bytes() uint64 {
+	var total uint64
+	for w := range s.arenas {
+		for l := range s.arenas[w] {
+			total += s.arenas[w][l].Bytes()
+		}
+	}
+	return total
+}
+
+// NumNodes returns the total count of live nodes across all arenas.
+func (s *Store) NumNodes() uint64 {
+	var total uint64
+	for w := range s.arenas {
+		for l := range s.arenas[w] {
+			total += s.arenas[w][l].Live()
+		}
+	}
+	return total
+}
+
+// NodesAtLevel returns the live node count for one variable level summed
+// across workers.
+func (s *Store) NodesAtLevel(level int) uint64 {
+	var total uint64
+	for w := 0; w < s.workers; w++ {
+		total += s.arenas[w][level].Live()
+	}
+	return total
+}

@@ -1,0 +1,212 @@
+// Package unique implements the per-variable unique tables that guarantee
+// BDD canonicity. There is one Table per variable level, shared by all
+// workers, with one lock per table — the synchronization structure the
+// paper uses for the parallel reduction phase (§3.2) and whose contention
+// it measures in Figures 16 and 17.
+package unique
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bfbdd/internal/node"
+)
+
+// hashRef mixes a pair of child refs into a bucket hash. The paper notes
+// the hash function depends on the location of a node's children, which is
+// why compaction forces the rehash phase of garbage collection; packed
+// refs have the same property since a child's index changes when it moves.
+func hashRef(low, high node.Ref) uint64 {
+	h := uint64(low)*0x9E3779B97F4A7C15 ^ uint64(high)*0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+const initialBuckets = 64
+
+// Table is the unique table for one variable level. Buckets hold the head
+// Ref of a chain linked through Node.Next; chains may traverse the arenas
+// of several workers.
+//
+// All mutating access (FindOrAdd, RemoveUnmarked, ResetBuckets, Insert)
+// requires holding the table's lock via Lock/Unlock, except where a phase
+// barrier already guarantees exclusivity (noted per method).
+type Table struct {
+	mu sync.Mutex
+
+	buckets []node.Ref
+	count   uint64
+
+	// maxCount tracks the high-water node count for this variable,
+	// reproducing the paper's Figure 15 (max BDD nodes per variable).
+	maxCount uint64
+
+	// lockWaitNs accumulates time spent waiting to acquire the lock,
+	// reproducing Figures 16/17. Updated atomically by Lock.
+	lockWaitNs atomic.Int64
+
+	// hits/misses count FindOrAdd outcomes for diagnostics.
+	hits, misses uint64
+}
+
+// Lock acquires the table lock, accumulating contention wait time. The
+// fast path (uncontended TryLock) costs one atomic operation and records
+// no wait.
+func (t *Table) Lock() {
+	if t.mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	t.mu.Lock()
+	t.lockWaitNs.Add(int64(time.Since(start)))
+}
+
+// TryLock attempts to acquire the lock without blocking.
+func (t *Table) TryLock() bool { return t.mu.TryLock() }
+
+// Unlock releases the table lock.
+func (t *Table) Unlock() { t.mu.Unlock() }
+
+// LockWait returns the accumulated lock acquisition wait time.
+func (t *Table) LockWait() time.Duration { return time.Duration(t.lockWaitNs.Load()) }
+
+// ResetLockWait clears the contention counter (used between experiment
+// phases so Figure 16 reports reduction-phase waiting only).
+func (t *Table) ResetLockWait() { t.lockWaitNs.Store(0) }
+
+// Count returns the number of nodes currently in the table. Callers
+// should hold the lock or be at a barrier for an exact value.
+func (t *Table) Count() uint64 { return t.count }
+
+// MaxCount returns the high-water node count for this variable.
+func (t *Table) MaxCount() uint64 { return t.maxCount }
+
+// Hits and Misses return FindOrAdd outcome counters.
+func (t *Table) Hits() uint64   { return t.hits }
+func (t *Table) Misses() uint64 { return t.misses }
+
+// FindOrAdd returns the canonical node for (level, low, high), creating it
+// in worker w's arena if absent. The caller must hold the lock and must
+// have already applied the reduction rule (low != high).
+func (t *Table) FindOrAdd(st *node.Store, w, level int, low, high node.Ref) node.Ref {
+	if t.buckets == nil {
+		t.buckets = make([]node.Ref, initialBuckets)
+		for i := range t.buckets {
+			t.buckets[i] = node.Nil
+		}
+	}
+	b := hashRef(low, high) & uint64(len(t.buckets)-1)
+	for r := t.buckets[b]; r != node.Nil; {
+		nd := st.Node(r)
+		if nd.Low == low && nd.High == high {
+			t.hits++
+			return r
+		}
+		r = nd.Next
+	}
+	t.misses++
+	idx := st.Arena(w, level).Alloc(low, high)
+	r := node.MakeRef(level, w, idx)
+	nd := st.Node(r)
+	nd.Next = t.buckets[b]
+	t.buckets[b] = r
+	t.count++
+	if t.count > t.maxCount {
+		t.maxCount = t.count
+	}
+	if t.count > uint64(len(t.buckets))*2 {
+		t.grow(st)
+	}
+	return r
+}
+
+// grow doubles the bucket array, rechaining all nodes. Caller holds lock.
+func (t *Table) grow(st *node.Store) {
+	old := t.buckets
+	t.buckets = make([]node.Ref, len(old)*2)
+	for i := range t.buckets {
+		t.buckets[i] = node.Nil
+	}
+	for _, head := range old {
+		for r := head; r != node.Nil; {
+			nd := st.Node(r)
+			next := nd.Next
+			b := hashRef(nd.Low, nd.High) & uint64(len(t.buckets)-1)
+			nd.Next = t.buckets[b]
+			t.buckets[b] = r
+			r = next
+		}
+	}
+}
+
+// Lookup returns the canonical node for (low, high) if present, without
+// creating it. Caller must hold the lock (or be at a barrier).
+func (t *Table) Lookup(st *node.Store, low, high node.Ref) (node.Ref, bool) {
+	if t.buckets == nil {
+		return node.Nil, false
+	}
+	b := hashRef(low, high) & uint64(len(t.buckets)-1)
+	for r := t.buckets[b]; r != node.Nil; {
+		nd := st.Node(r)
+		if nd.Low == low && nd.High == high {
+			return r, true
+		}
+		r = nd.Next
+	}
+	return node.Nil, false
+}
+
+// ResetBuckets empties the table (keeping capacity) in preparation for the
+// rehash phase of a compacting collection. Exclusivity is guaranteed by
+// the GC barrier, not the lock.
+func (t *Table) ResetBuckets(sizeHint uint64) {
+	n := uint64(initialBuckets)
+	for n < sizeHint {
+		n *= 2
+	}
+	if uint64(len(t.buckets)) != n {
+		t.buckets = make([]node.Ref, n)
+	}
+	for i := range t.buckets {
+		t.buckets[i] = node.Nil
+	}
+	t.count = 0
+}
+
+// Insert adds a node known to be absent (rehash phase). The caller must
+// hold the lock. Unlike FindOrAdd it never allocates and never grows: the
+// rehash phase pre-sizes buckets via ResetBuckets.
+func (t *Table) Insert(st *node.Store, r node.Ref) {
+	nd := st.Node(r)
+	b := hashRef(nd.Low, nd.High) & uint64(len(t.buckets)-1)
+	nd.Next = t.buckets[b]
+	t.buckets[b] = r
+	t.count++
+	if t.count > t.maxCount {
+		t.maxCount = t.count
+	}
+}
+
+// RemoveUnmarked unlinks every node whose arena mark bit is clear
+// (free-list GC sweep), invoking free for each removed ref. Exclusivity is
+// guaranteed by the GC barrier.
+func (t *Table) RemoveUnmarked(st *node.Store, free func(node.Ref)) {
+	for i := range t.buckets {
+		prevNext := &t.buckets[i]
+		for r := *prevNext; r != node.Nil; {
+			nd := st.Node(r)
+			next := nd.Next
+			if st.Arena(r.Worker(), r.Level()).Marked(r.Index()) {
+				prevNext = &nd.Next
+			} else {
+				*prevNext = next
+				t.count--
+				free(r)
+			}
+			r = next
+		}
+	}
+}

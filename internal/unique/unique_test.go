@@ -1,0 +1,215 @@
+package unique
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bfbdd/internal/node"
+)
+
+func TestFindOrAddCanonical(t *testing.T) {
+	st := node.NewStore(1, 2)
+	var tab Table
+	tab.Lock()
+	a := tab.FindOrAdd(st, 0, 1, node.Zero, node.One)
+	b := tab.FindOrAdd(st, 0, 1, node.Zero, node.One)
+	c := tab.FindOrAdd(st, 0, 1, node.One, node.Zero)
+	tab.Unlock()
+	if a != b {
+		t.Fatalf("duplicate insert returned different refs: %v vs %v", a, b)
+	}
+	if a == c {
+		t.Fatal("distinct children returned same ref")
+	}
+	if tab.Count() != 2 {
+		t.Fatalf("Count = %d", tab.Count())
+	}
+	if tab.Hits() != 1 || tab.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d", tab.Hits(), tab.Misses())
+	}
+}
+
+func TestFindOrAddGrowth(t *testing.T) {
+	st := node.NewStore(1, 2)
+	var tab Table
+	const n = 10000
+	refs := make([]node.Ref, n)
+	tab.Lock()
+	for i := 0; i < n; i++ {
+		low := node.MakeRef(1, 0, uint64(i))
+		refs[i] = tab.FindOrAdd(st, 0, 0, low, node.One)
+	}
+	tab.Unlock()
+	if tab.Count() != n {
+		t.Fatalf("Count = %d want %d", tab.Count(), n)
+	}
+	if tab.MaxCount() != n {
+		t.Fatalf("MaxCount = %d", tab.MaxCount())
+	}
+	// All still findable after growth rechaining.
+	tab.Lock()
+	for i := 0; i < n; i++ {
+		low := node.MakeRef(1, 0, uint64(i))
+		if got := tab.FindOrAdd(st, 0, 0, low, node.One); got != refs[i] {
+			t.Fatalf("after growth: ref %d changed: %v vs %v", i, got, refs[i])
+		}
+	}
+	tab.Unlock()
+}
+
+func TestLookup(t *testing.T) {
+	st := node.NewStore(1, 2)
+	var tab Table
+	if _, ok := tab.Lookup(st, node.Zero, node.One); ok {
+		t.Fatal("lookup hit on empty table")
+	}
+	tab.Lock()
+	r := tab.FindOrAdd(st, 0, 1, node.Zero, node.One)
+	tab.Unlock()
+	got, ok := tab.Lookup(st, node.Zero, node.One)
+	if !ok || got != r {
+		t.Fatalf("Lookup = %v,%v want %v,true", got, ok, r)
+	}
+	if _, ok := tab.Lookup(st, node.One, node.Zero); ok {
+		t.Fatal("lookup hit for absent node")
+	}
+}
+
+func TestConcurrentFindOrAdd(t *testing.T) {
+	st := node.NewStore(4, 1)
+	var tab Table
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	results := make([][]node.Ref, 4)
+	for w := 0; w < 4; w++ {
+		results[w] = make([]node.Ref, perWorker)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Same logical nodes from every worker: canonicity must hold.
+				low := node.Zero
+				high := node.MakeRef(node.TermLevel, 0, uint64(1)) // One
+				if i%2 == 0 {
+					low, high = high, low
+				}
+				_ = low
+				tab.Lock()
+				results[w][i] = tab.FindOrAdd(st, w, 0, low, high)
+				tab.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tab.Count() != 2 {
+		t.Fatalf("Count = %d want 2", tab.Count())
+	}
+	for w := 1; w < 4; w++ {
+		for i := 0; i < perWorker; i++ {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d item %d: %v != %v", w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+}
+
+func TestRemoveUnmarked(t *testing.T) {
+	st := node.NewStore(1, 1)
+	var tab Table
+	const n = 100
+	refs := make([]node.Ref, n)
+	tab.Lock()
+	for i := 0; i < n; i++ {
+		refs[i] = tab.FindOrAdd(st, 0, 0, node.MakeRef(node.TermLevel, 0, 0), node.MakeRef(0, 0, uint64(i+1000)))
+	}
+	tab.Unlock()
+	ar := st.Arena(0, 0)
+	ar.PrepareMarks()
+	keep := map[node.Ref]bool{}
+	rng := rand.New(rand.NewSource(7))
+	for _, r := range refs {
+		if rng.Intn(2) == 0 {
+			word, bit := ar.MarkWord(r.Index())
+			*word |= bit
+			keep[r] = true
+		}
+	}
+	var freed []node.Ref
+	tab.RemoveUnmarked(st, func(r node.Ref) { freed = append(freed, r) })
+	if int(tab.Count()) != len(keep) {
+		t.Fatalf("Count = %d want %d", tab.Count(), len(keep))
+	}
+	if len(freed)+len(keep) != n {
+		t.Fatalf("freed %d + kept %d != %d", len(freed), len(keep), n)
+	}
+	for _, r := range freed {
+		if keep[r] {
+			t.Fatalf("marked node %v was freed", r)
+		}
+	}
+	// Survivors still findable.
+	for r := range keep {
+		nd := st.Node(r)
+		got, ok := tab.Lookup(st, nd.Low, nd.High)
+		if !ok || got != r {
+			t.Fatalf("survivor %v lost: %v,%v", r, got, ok)
+		}
+	}
+}
+
+func TestResetBucketsAndInsert(t *testing.T) {
+	st := node.NewStore(1, 1)
+	var tab Table
+	tab.Lock()
+	r1 := tab.FindOrAdd(st, 0, 0, node.Zero, node.One)
+	r2 := tab.FindOrAdd(st, 0, 0, node.One, node.Zero)
+	tab.Unlock()
+	tab.ResetBuckets(2)
+	if tab.Count() != 0 {
+		t.Fatalf("Count after reset = %d", tab.Count())
+	}
+	tab.Lock()
+	tab.Insert(st, r1)
+	tab.Insert(st, r2)
+	tab.Unlock()
+	if tab.Count() != 2 {
+		t.Fatalf("Count after reinsert = %d", tab.Count())
+	}
+	if got, ok := tab.Lookup(st, node.Zero, node.One); !ok || got != r1 {
+		t.Fatalf("r1 lost after rehash")
+	}
+	if got, ok := tab.Lookup(st, node.One, node.Zero); !ok || got != r2 {
+		t.Fatalf("r2 lost after rehash")
+	}
+	// MaxCount survives the reset (high-water semantics).
+	if tab.MaxCount() < 2 {
+		t.Fatalf("MaxCount = %d", tab.MaxCount())
+	}
+}
+
+func TestLockWaitAccumulates(t *testing.T) {
+	var tab Table
+	tab.Lock()
+	done := make(chan struct{})
+	go func() {
+		tab.Lock() // will block
+		tab.Unlock()
+		close(done)
+	}()
+	// Give the contender time to block, then release.
+	for i := 0; i < 100; i++ {
+		if tab.lockWaitNs.Load() >= 0 {
+			break
+		}
+	}
+	tab.Unlock()
+	<-done
+	if tab.LockWait() < 0 {
+		t.Fatalf("LockWait negative: %v", tab.LockWait())
+	}
+	tab.ResetLockWait()
+	if tab.LockWait() != 0 {
+		t.Fatalf("LockWait after reset: %v", tab.LockWait())
+	}
+}

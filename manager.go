@@ -1,0 +1,447 @@
+package bfbdd
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"time"
+
+	"bfbdd/internal/core"
+	"bfbdd/internal/node"
+	"bfbdd/internal/stats"
+)
+
+// Engine selects the BDD construction algorithm. See the package
+// documentation for the trade-offs.
+type Engine int
+
+// The available engines.
+const (
+	EngineDF Engine = iota
+	EngineBF
+	EngineHybrid
+	EnginePBF
+	EnginePar
+)
+
+// String returns the engine name.
+func (e Engine) String() string { return coreEngine(e).String() }
+
+func coreEngine(e Engine) core.Engine {
+	switch e {
+	case EngineDF:
+		return core.EngineDF
+	case EngineBF:
+		return core.EngineBF
+	case EngineHybrid:
+		return core.EngineHybrid
+	case EnginePBF:
+		return core.EnginePBF
+	case EnginePar:
+		return core.EnginePar
+	}
+	panic(fmt.Sprintf("bfbdd: unknown engine %d", int(e)))
+}
+
+// GCPolicy selects the garbage collection strategy.
+type GCPolicy int
+
+// The available GC policies.
+const (
+	// GCCompact is the paper's mark-and-sweep collector with memory
+	// compaction (mark / fix / rehash). Default.
+	GCCompact GCPolicy = iota
+	// GCFreeList sweeps dead nodes onto free lists without moving
+	// anything (lower pause cost, scattered allocation).
+	GCFreeList
+)
+
+// Option configures a Manager.
+type Option func(*core.Options)
+
+// WithEngine selects the construction engine (default EnginePBF).
+func WithEngine(e Engine) Option {
+	return func(o *core.Options) { o.Engine = coreEngine(e) }
+}
+
+// WithWorkers sets the parallel worker count for EnginePar.
+func WithWorkers(n int) Option {
+	return func(o *core.Options) { o.Workers = n }
+}
+
+// WithEvalThreshold sets the partial breadth-first evaluation threshold:
+// the number of Shannon expansions per evaluation context.
+func WithEvalThreshold(n int) Option {
+	return func(o *core.Options) { o.EvalThreshold = n }
+}
+
+// WithGroupSize sets the number of operations per stealable group.
+func WithGroupSize(n int) Option {
+	return func(o *core.Options) { o.GroupSize = n }
+}
+
+// WithCacheBits bounds each per-variable compute-cache segment at 2^bits
+// entries.
+func WithCacheBits(bits uint) Option {
+	return func(o *core.Options) { o.CacheBits = bits }
+}
+
+// WithGCPolicy selects the collector (default GCCompact).
+func WithGCPolicy(p GCPolicy) Option {
+	return func(o *core.Options) {
+		if p == GCFreeList {
+			o.GC = core.GCFreeList
+		} else {
+			o.GC = core.GCCompact
+		}
+	}
+}
+
+// WithGCGrowth sets the heap growth factor that triggers collection.
+func WithGCGrowth(f float64) Option {
+	return func(o *core.Options) { o.GCGrowth = f }
+}
+
+// WithGCMinNodes suppresses collection below this live-node count.
+func WithGCMinNodes(n uint64) Option {
+	return func(o *core.Options) { o.GCMinNodes = n }
+}
+
+// WithStealing enables or disables work stealing (EnginePar only;
+// enabled by default).
+func WithStealing(enabled bool) Option {
+	return func(o *core.Options) { o.Stealing = enabled }
+}
+
+// Manager owns a BDD node space over a fixed number of variables.
+//
+// Variables have stable public indices 0..NumVars-1; their position in
+// the variable order (their level) starts out equal to the index and can
+// be changed with SetOrder. All public methods speak in variable indices.
+type Manager struct {
+	k         *core.Kernel
+	var2level []int
+	level2var []int
+}
+
+// New creates a manager with numVars Boolean variables. Initially
+// variable i sits at order position (level) i; variable 0 has the highest
+// precedence.
+func New(numVars int, opts ...Option) *Manager {
+	o := core.Options{
+		Levels:   numVars,
+		Engine:   core.EnginePBF,
+		Stealing: true,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	m := &Manager{
+		k:         core.NewKernel(o),
+		var2level: make([]int, numVars),
+		level2var: make([]int, numVars),
+	}
+	for i := range m.var2level {
+		m.var2level[i] = i
+		m.level2var[i] = i
+	}
+	return m
+}
+
+// level maps a public variable index to its current order level.
+func (m *Manager) level(v int) int {
+	if v < 0 || v >= len(m.var2level) {
+		panic(fmt.Sprintf("bfbdd: variable %d out of range [0,%d)", v, len(m.var2level)))
+	}
+	return m.var2level[v]
+}
+
+// Order returns the current variable order: position p holds Order()[p].
+func (m *Manager) Order() []int {
+	return append([]int(nil), m.level2var...)
+}
+
+// LevelOf returns variable v's current position in the order.
+func (m *Manager) LevelOf(v int) int { return m.level(v) }
+
+// SetOrder changes the variable order: newLevel[v] is the desired order
+// position of variable v, and must be a permutation of [0, NumVars).
+// Every live BDD handle is rebuilt under the new order (see the paper's
+// discussion of ordering sensitivity, §2; Rudell [22]); handles stay
+// valid, sizes change with the order.
+func (m *Manager) SetOrder(newLevel []int) {
+	if len(newLevel) != len(m.var2level) {
+		panic(fmt.Sprintf("bfbdd: SetOrder with %d entries for %d variables",
+			len(newLevel), len(m.var2level)))
+	}
+	levelMap := make([]int, len(newLevel))
+	for v, nl := range newLevel {
+		if nl < 0 || nl >= len(newLevel) {
+			panic("bfbdd: SetOrder is not a permutation")
+		}
+		levelMap[m.var2level[v]] = nl
+	}
+	m.k.ReorderLevels(levelMap)
+	copy(m.var2level, newLevel)
+	for v, l := range m.var2level {
+		m.level2var[l] = v
+	}
+}
+
+// NumVars returns the variable count.
+func (m *Manager) NumVars() int { return m.k.Levels() }
+
+// NumNodes returns the current live BDD node count across all variables.
+func (m *Manager) NumNodes() uint64 { return m.k.NumNodes() }
+
+// wrap pins a ref into a BDD handle.
+func (m *Manager) wrap(r node.Ref) *BDD {
+	return &BDD{m: m, pin: m.k.Pin(r)}
+}
+
+// Zero returns the constant-false BDD.
+func (m *Manager) Zero() *BDD { return m.wrap(node.Zero) }
+
+// One returns the constant-true BDD.
+func (m *Manager) One() *BDD { return m.wrap(node.One) }
+
+// Var returns the BDD for variable i.
+func (m *Manager) Var(i int) *BDD { return m.wrap(m.k.VarRef(m.level(i))) }
+
+// NVar returns the BDD for the negation of variable i.
+func (m *Manager) NVar(i int) *BDD {
+	return m.wrap(m.k.MkNode(m.level(i), node.One, node.Zero))
+}
+
+// GC forces an immediate garbage collection.
+func (m *Manager) GC() { m.k.GC() }
+
+// BDD is a handle to a canonical binary decision diagram. Handles remain
+// valid across the manager's garbage collections until Free is called.
+type BDD struct {
+	m   *Manager
+	pin *core.Pin
+}
+
+// Manager returns the owning manager.
+func (b *BDD) Manager() *Manager { return b.m }
+
+// ref returns the current underlying ref.
+func (b *BDD) ref() node.Ref {
+	if b.pin == nil {
+		panic("bfbdd: use of freed BDD")
+	}
+	return b.pin.Ref()
+}
+
+// Free releases the handle, allowing the garbage collector to reclaim the
+// diagram if nothing else references it. The BDD must not be used after.
+func (b *BDD) Free() {
+	if b.pin != nil {
+		b.m.k.Unpin(b.pin)
+		b.pin = nil
+	}
+}
+
+// Equal reports whether b and c represent the same Boolean function.
+// Thanks to canonicity this is a pointer-style comparison.
+func (b *BDD) Equal(c *BDD) bool {
+	b.mustShareManager(c)
+	return b.ref() == c.ref()
+}
+
+// IsZero reports whether b is the constant false function.
+func (b *BDD) IsZero() bool { return b.ref().IsZero() }
+
+// IsOne reports whether b is the constant true function.
+func (b *BDD) IsOne() bool { return b.ref().IsOne() }
+
+func (b *BDD) mustShareManager(c *BDD) {
+	if b.m != c.m {
+		panic("bfbdd: operands belong to different managers")
+	}
+}
+
+func (b *BDD) apply(op core.Op, c *BDD) *BDD {
+	b.mustShareManager(c)
+	return b.m.wrap(b.m.k.Apply(op, b.ref(), c.ref()))
+}
+
+// And returns b ∧ c.
+func (b *BDD) And(c *BDD) *BDD { return b.apply(core.OpAnd, c) }
+
+// Or returns b ∨ c.
+func (b *BDD) Or(c *BDD) *BDD { return b.apply(core.OpOr, c) }
+
+// Xor returns b ⊕ c.
+func (b *BDD) Xor(c *BDD) *BDD { return b.apply(core.OpXor, c) }
+
+// Nand returns ¬(b ∧ c).
+func (b *BDD) Nand(c *BDD) *BDD { return b.apply(core.OpNand, c) }
+
+// Nor returns ¬(b ∨ c).
+func (b *BDD) Nor(c *BDD) *BDD { return b.apply(core.OpNor, c) }
+
+// Xnor returns ¬(b ⊕ c) (equivalence).
+func (b *BDD) Xnor(c *BDD) *BDD { return b.apply(core.OpXnor, c) }
+
+// Diff returns b ∧ ¬c.
+func (b *BDD) Diff(c *BDD) *BDD { return b.apply(core.OpDiff, c) }
+
+// Implies returns ¬b ∨ c.
+func (b *BDD) Implies(c *BDD) *BDD { return b.apply(core.OpImp, c) }
+
+// Not returns ¬b.
+func (b *BDD) Not() *BDD { return b.m.wrap(b.m.k.Not(b.ref())) }
+
+// ITE returns b ? t : e (if-then-else).
+func (b *BDD) ITE(t, e *BDD) *BDD {
+	b.mustShareManager(t)
+	b.mustShareManager(e)
+	return b.m.wrap(b.m.k.ITE(b.ref(), t.ref(), e.ref()))
+}
+
+// cubeLevels maps public variable indices to levels for quantification.
+func (m *Manager) cubeLevels(vars []int) []int {
+	levels := make([]int, len(vars))
+	for i, v := range vars {
+		levels[i] = m.level(v)
+	}
+	return levels
+}
+
+// Exists existentially quantifies the given variables out of b.
+func (b *BDD) Exists(vars ...int) *BDD {
+	cube := b.m.k.CubeRef(b.m.cubeLevels(vars))
+	return b.m.wrap(b.m.k.Exists(b.ref(), cube))
+}
+
+// Forall universally quantifies the given variables out of b.
+func (b *BDD) Forall(vars ...int) *BDD {
+	cube := b.m.k.CubeRef(b.m.cubeLevels(vars))
+	return b.m.wrap(b.m.k.Forall(b.ref(), cube))
+}
+
+// Restrict fixes variable v to the given value.
+func (b *BDD) Restrict(v int, value bool) *BDD {
+	return b.m.wrap(b.m.k.Restrict(b.ref(), b.m.level(v), value))
+}
+
+// Compose substitutes the function g for variable v in b.
+func (b *BDD) Compose(v int, g *BDD) *BDD {
+	b.mustShareManager(g)
+	return b.m.wrap(b.m.k.Compose(b.ref(), b.m.level(v), g.ref()))
+}
+
+// Size returns the number of internal nodes in b.
+func (b *BDD) Size() int { return b.m.k.Size(b.ref()) }
+
+// SatCount returns the exact number of satisfying assignments over all of
+// the manager's variables.
+func (b *BDD) SatCount() *big.Int { return b.m.k.SatCount(b.ref()) }
+
+// AnySat returns one satisfying assignment as a map from variable index to
+// value; variables absent from the map are don't-cares. ok is false when b
+// is unsatisfiable.
+func (b *BDD) AnySat() (assignment map[int]bool, ok bool) {
+	a, ok := b.m.k.AnySat(b.ref())
+	if !ok {
+		return nil, false
+	}
+	out := make(map[int]bool)
+	for lvl, val := range a {
+		if val >= 0 {
+			out[b.m.level2var[lvl]] = val == 1
+		}
+	}
+	return out, true
+}
+
+// Eval evaluates b under a complete assignment indexed by variable.
+func (b *BDD) Eval(assignment []bool) bool {
+	byLevel := make([]bool, len(assignment))
+	for v, val := range assignment {
+		byLevel[b.m.var2level[v]] = val
+	}
+	return b.m.k.Eval(b.ref(), byLevel)
+}
+
+// Support returns the variables on which b depends, in ascending variable
+// index order.
+func (b *BDD) Support() []int {
+	levels := b.m.k.Support(b.ref())
+	vars := make([]int, len(levels))
+	for i, l := range levels {
+		vars[i] = b.m.level2var[l]
+	}
+	sort.Ints(vars)
+	return vars
+}
+
+// Stats is a snapshot of the manager's instrumentation, mirroring the
+// measurements reported in the paper's evaluation.
+type Stats struct {
+	// Ops is the total number of Shannon expansion steps across workers.
+	Ops uint64
+	// CacheHits counts compute-cache hits; Terminals counts operations
+	// resolved as terminal cases.
+	CacheHits uint64
+	Terminals uint64
+	// ExpansionTime / ReductionTime are summed across workers.
+	ExpansionTime time.Duration
+	ReductionTime time.Duration
+	// GCMarkTime / GCFixTime / GCRehashTime are the collector phases.
+	GCMarkTime   time.Duration
+	GCFixTime    time.Duration
+	GCRehashTime time.Duration
+	// Steals / StolenOps / Stalls describe load-balancing activity.
+	Steals    uint64
+	StolenOps uint64
+	Stalls    uint64
+	// ContextPushes counts evaluation-context switches.
+	ContextPushes uint64
+	// LockWait is the total unique-table lock acquisition wait.
+	LockWait time.Duration
+	// GCCount is the number of collections; PeakBytes the high-water
+	// explicit memory footprint (nodes + operator nodes + caches +
+	// unique-table buckets).
+	GCCount   uint64
+	PeakBytes uint64
+	// NumNodes is the current live node count.
+	NumNodes uint64
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	t := m.k.TotalStats()
+	var lock time.Duration
+	for l := 0; l < m.k.Levels(); l++ {
+		lock += m.k.Table(l).LockWait()
+	}
+	mem := m.k.Memory()
+	return Stats{
+		Ops:           t.Ops,
+		CacheHits:     t.CacheHits,
+		Terminals:     t.Terminals,
+		ExpansionTime: t.PhaseTime(stats.PhaseExpansion),
+		ReductionTime: t.PhaseTime(stats.PhaseReduction),
+		GCMarkTime:    t.PhaseTime(stats.PhaseGCMark),
+		GCFixTime:     t.PhaseTime(stats.PhaseGCFix),
+		GCRehashTime:  t.PhaseTime(stats.PhaseGCRehash),
+		Steals:        t.Steals,
+		StolenOps:     t.StolenOps,
+		Stalls:        t.Stalls,
+		ContextPushes: t.ContextPushes,
+		LockWait:      lock,
+		GCCount:       mem.GCCount,
+		PeakBytes:     mem.PeakBytes,
+		NumNodes:      m.k.NumNodes(),
+	}
+}
+
+// ResetStats zeroes the counters (memory peak and GC count are kept).
+func (m *Manager) ResetStats() { m.k.ResetStats() }
+
+// Kernel exposes the internal kernel for the benchmark harness and
+// examples living in this module. External users should ignore it.
+func (m *Manager) Kernel() *core.Kernel { return m.k }
