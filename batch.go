@@ -1,6 +1,10 @@
 package bfbdd
 
-import "bfbdd/internal/core"
+import (
+	"context"
+
+	"bfbdd/internal/core"
+)
 
 // BatchOpKind names a binary operation for ApplyBatch.
 type BatchOpKind int
@@ -52,6 +56,47 @@ type BatchOp struct {
 // the paper's "set of top level operations we queued" usage mode. The
 // results are returned in order.
 func (m *Manager) ApplyBatch(ops []BatchOp) []*BDD {
+	refs := m.k.ApplyBatch(m.binOps(ops))
+	out := make([]*BDD, len(refs))
+	for i, r := range refs {
+		out[i] = m.wrap(r)
+	}
+	return out
+}
+
+// ApplyBatchCtx is ApplyBatch with cooperative cancellation: when ctx is
+// canceled (or its deadline passes) mid-construction, the workers abandon
+// the batch at their next poll point, the kernel discards the transient
+// build state, and ctx's error is returned. The manager remains fully
+// usable; no results are returned for a canceled batch.
+func (m *Manager) ApplyBatchCtx(ctx context.Context, ops []BatchOp) ([]*BDD, error) {
+	refs, err := m.k.ApplyBatchCtx(ctx, m.binOps(ops))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*BDD, len(refs))
+	for i, r := range refs {
+		out[i] = m.wrap(r)
+	}
+	return out, nil
+}
+
+// ApplyCtx computes f <kind> g with cooperative cancellation (see
+// ApplyBatchCtx).
+func (m *Manager) ApplyCtx(ctx context.Context, kind BatchOpKind, f, g *BDD) (*BDD, error) {
+	f.mustShareManager(g)
+	if f.m != m {
+		panic("bfbdd: ApplyCtx operand from another manager")
+	}
+	r, err := m.k.ApplyCtx(ctx, kind.op(), f.ref(), g.ref())
+	if err != nil {
+		return nil, err
+	}
+	return m.wrap(r), nil
+}
+
+// binOps validates the batch and lowers it to kernel operations.
+func (m *Manager) binOps(ops []BatchOp) []core.BinOp {
 	bin := make([]core.BinOp, len(ops))
 	for i, op := range ops {
 		op.F.mustShareManager(op.G)
@@ -60,10 +105,5 @@ func (m *Manager) ApplyBatch(ops []BatchOp) []*BDD {
 		}
 		bin[i] = core.BinOp{Op: op.Kind.op(), F: op.F.ref(), G: op.G.ref()}
 	}
-	refs := m.k.ApplyBatch(bin)
-	out := make([]*BDD, len(refs))
-	for i, r := range refs {
-		out[i] = m.wrap(r)
-	}
-	return out
+	return bin
 }

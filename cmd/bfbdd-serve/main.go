@@ -1,0 +1,86 @@
+// Command bfbdd-serve runs the bfbdd HTTP/JSON service: a pool of
+// session-scoped BDD managers behind a REST-ish API, with request
+// coalescing onto the parallel engine's batch path, admission control,
+// idle-session expiry, and a Prometheus /metrics endpoint.
+//
+// Typical use:
+//
+//	bfbdd-serve -addr :8707 -request-timeout 30s -pprof
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
+// in-flight requests and queued session work finish (bounded by
+// -shutdown-timeout), then every session's manager is closed.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bfbdd/internal/server"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8707", "listen address")
+		maxSessions     = flag.Int("max-sessions", 64, "maximum concurrently open sessions")
+		maxInflight     = flag.Int("max-inflight", 256, "maximum concurrently served requests (excess get 429)")
+		requestTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline, plumbed into cancellable builds")
+		idleExpiry      = flag.Duration("idle-expiry", 10*time.Minute, "close sessions idle for this long")
+		coalesceWindow  = flag.Duration("coalesce-window", 2*time.Millisecond, "window for gathering concurrent applies into one engine batch")
+		coalesceBatch   = flag.Int("coalesce-max-batch", 64, "flush a forming batch early at this many ops")
+		queuePerSession = flag.Int("max-queued-per-session", 128, "per-session executor queue bound")
+		pprofEnabled    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "bound on the graceful drain at exit")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxSessions:         *maxSessions,
+		MaxInflight:         *maxInflight,
+		RequestTimeout:      *requestTimeout,
+		SessionIdleExpiry:   *idleExpiry,
+		CoalesceWindow:      *coalesceWindow,
+		CoalesceMaxBatch:    *coalesceBatch,
+		MaxQueuedPerSession: *queuePerSession,
+		EnablePprof:         *pprofEnabled,
+	})
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("bfbdd-serve: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		log.Printf("bfbdd-serve: %s received, draining", sig)
+	case err := <-errc:
+		log.Fatalf("bfbdd-serve: listener failed: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	// Stop accepting and drain in-flight HTTP first, then close sessions
+	// (draining each session executor's accepted work).
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("bfbdd-serve: http drain: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("bfbdd-serve: session drain: %v", err)
+	}
+	log.Printf("bfbdd-serve: shutdown complete")
+}

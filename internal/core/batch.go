@@ -42,8 +42,14 @@ func (k *Kernel) ApplyBatch(ops []BinOp) []node.Ref {
 	}
 	k.applySeq++
 
-	// Pin all operands across the batch-entry collection.
+	// Pin all operands across the batch-entry collection. The unpin is
+	// deferred so an aborted (canceled) batch does not leak pins.
 	pins := make([]*Pin, 0, 2*len(ops))
+	defer func() {
+		for _, p := range pins {
+			k.Unpin(p)
+		}
+	}()
 	for _, op := range ops {
 		pins = append(pins, k.Pin(op.F), k.Pin(op.G))
 	}
@@ -71,9 +77,6 @@ func (k *Kernel) ApplyBatch(ops []BinOp) []node.Ref {
 		}
 	}
 
-	for _, p := range pins {
-		k.Unpin(p)
-	}
 	k.sampleMemory()
 	return results
 }
@@ -101,6 +104,11 @@ func (k *Kernel) parApplyBatch(ops []BinOp, results []node.Ref) {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
+			// A canceled build unwinds workers with the buildAborted
+			// sentinel; catchAbort swallows it and raises opDone so the
+			// still-idle workers drain too. The abort is re-raised on the
+			// caller goroutine once every worker has quiesced.
+			defer k.catchAbort()
 			if w.pendingTotal > 0 {
 				w.evalCycle()
 			}
@@ -113,6 +121,9 @@ func (k *Kernel) parApplyBatch(ops []BinOp, results []node.Ref) {
 		}(w)
 	}
 	wg.Wait()
+	if k.aborted() {
+		panic(buildAborted{})
+	}
 
 	for i, r := range roots {
 		if !r.val.IsOpHandle() {

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+
+	"bfbdd/internal/node"
+)
+
+// Build cancellation.
+//
+// A long-running top-level operation can be interrupted cooperatively: the
+// caller arms the kernel with an interrupt probe (typically ctx.Err), the
+// workers poll it at safe points of the expansion and reduction loops, and
+// the first worker that observes a non-nil probe result aborts the build
+// by unwinding with the buildAborted sentinel. The top-level entry point
+// recovers the sentinel, discards the build's transient state (operator
+// arenas, pending queues, evaluation contexts, compute-cache op entries),
+// and returns the probe's error. The persistent structures — node store,
+// unique tables, pins — are append-only during a build, so an aborted
+// build leaves them canonical; the partial nodes it created are garbage
+// that the next collection reclaims.
+
+// buildAborted is the panic sentinel used to unwind an interrupted build.
+type buildAborted struct{}
+
+// cancelPollInterval is the number of Shannon expansion steps between
+// interrupt-probe polls on the expansion fast path.
+const cancelPollInterval = 1024
+
+// armInterrupt installs the probe and clears any stale abort state. Only
+// one build runs on a kernel at a time, so arming is unsynchronized with
+// respect to other arms (workers read the probe atomically).
+func (k *Kernel) armInterrupt(probe func() error) {
+	k.abortErr.Store(nil)
+	k.interrupt.Store(&probe)
+}
+
+// disarmInterrupt removes the probe after the build finishes or aborts.
+func (k *Kernel) disarmInterrupt() {
+	k.interrupt.Store(nil)
+	k.abortErr.Store(nil)
+}
+
+// checkCancelNow consults the abort flag and the interrupt probe, and
+// unwinds the calling worker when the build has been canceled. Must only
+// be called at points where the worker holds no unique-table lock.
+func (w *worker) checkCancelNow() {
+	k := w.k
+	if k.abortErr.Load() != nil {
+		panic(buildAborted{})
+	}
+	p := k.interrupt.Load()
+	if p == nil {
+		return
+	}
+	if err := (*p)(); err != nil {
+		e := err
+		k.abortErr.CompareAndSwap(nil, &e)
+		panic(buildAborted{})
+	}
+}
+
+// pollCancel is the amortized form of checkCancelNow for per-operation
+// call sites: it probes once every cancelPollInterval invocations.
+func (w *worker) pollCancel() {
+	w.cancelCounter--
+	if w.cancelCounter > 0 {
+		return
+	}
+	w.cancelCounter = cancelPollInterval
+	w.checkCancelNow()
+}
+
+// aborted reports whether the current build has been canceled, without
+// unwinding (for loops that prefer a clean return, like idleLoop).
+func (k *Kernel) aborted() bool { return k.abortErr.Load() != nil }
+
+// abortError returns the error recorded by the worker that observed the
+// cancellation.
+func (k *Kernel) abortError() error {
+	if p := k.abortErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// catchAbort recovers the buildAborted sentinel in a worker goroutine,
+// re-panicking on anything else. It also raises opDone so peers that are
+// not themselves polling (e.g. between steals) drain promptly.
+func (k *Kernel) catchAbort() {
+	if r := recover(); r != nil {
+		if _, ok := r.(buildAborted); !ok {
+			panic(r)
+		}
+		k.opDone.Store(true)
+	}
+}
+
+// abortTopLevel discards all transient build state after every worker has
+// quiesced from an aborted build: pending operator queues, reduce queues,
+// registered evaluation contexts, operator arenas, and the compute caches'
+// operator-handle entries. The node store and unique tables are untouched
+// (they only ever gain canonical nodes), so the kernel is immediately
+// usable for the next operation.
+func (k *Kernel) abortTopLevel() {
+	for _, w := range k.workers {
+		for i := range w.pending {
+			w.pending[i] = w.pending[i][:0]
+		}
+		w.pendingTotal = 0
+		for i := range w.curReduce {
+			w.curReduce[i] = w.curReduce[i][:0]
+		}
+		w.ctxMu.Lock()
+		w.ctxs = w.ctxs[:0]
+		w.ctxMu.Unlock()
+		w.nOps = 0
+		w.cancelCounter = 0
+		w.resetOps()
+		w.cache.InvalidateOps()
+	}
+}
+
+// interruptible reports whether ctx can ever be canceled; contexts without
+// cancellation capability take the zero-overhead uninterruptible path.
+func interruptible(ctx context.Context) bool {
+	return ctx != nil && ctx.Done() != nil
+}
+
+// ApplyCtx is Apply with cooperative cancellation: when ctx is canceled
+// (or its deadline passes) mid-build, the workers abandon the operation at
+// the next poll point and ApplyCtx returns ctx's error. The kernel remains
+// fully usable afterwards.
+func (k *Kernel) ApplyCtx(ctx context.Context, op Op, f, g node.Ref) (r node.Ref, err error) {
+	if !interruptible(ctx) {
+		return k.Apply(op, f, g), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return node.Nil, err
+	}
+	k.armInterrupt(ctx.Err)
+	defer k.disarmInterrupt()
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(buildAborted); !ok {
+				panic(rec)
+			}
+			k.abortTopLevel()
+			r, err = node.Nil, k.abortError()
+			if err == nil {
+				err = context.Canceled
+			}
+		}
+	}()
+	return k.Apply(op, f, g), nil
+}
+
+// ApplyBatchCtx is ApplyBatch with cooperative cancellation (see
+// ApplyCtx). On cancellation none of the batch's results are returned.
+func (k *Kernel) ApplyBatchCtx(ctx context.Context, ops []BinOp) (refs []node.Ref, err error) {
+	if !interruptible(ctx) {
+		return k.ApplyBatch(ops), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	k.armInterrupt(ctx.Err)
+	defer k.disarmInterrupt()
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(buildAborted); !ok {
+				panic(rec)
+			}
+			k.abortTopLevel()
+			refs, err = nil, k.abortError()
+			if err == nil {
+				err = context.Canceled
+			}
+		}
+	}()
+	return k.ApplyBatch(ops), nil
+}

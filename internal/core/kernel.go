@@ -161,6 +161,15 @@ type Kernel struct {
 	// applySeq numbers top-level operations (diagnostics).
 	applySeq uint64
 
+	// interrupt is the cancellation probe for the build in flight (nil
+	// when the build is not interruptible); abortErr records the error
+	// observed by the first worker to notice a cancellation. See cancel.go.
+	interrupt atomic.Pointer[func() error]
+	abortErr  atomic.Pointer[error]
+
+	// closed is set by Close; subsequent kernel use panics deterministically.
+	closed atomic.Bool
+
 	mem stats.Memory
 }
 
@@ -237,6 +246,7 @@ func (k *Kernel) mkNode(worker, level int, low, high node.Ref) node.Ref {
 // MkNode is the exported canonical node constructor (used by the public
 // API for Var and by the composite algorithms).
 func (k *Kernel) MkNode(level int, low, high node.Ref) node.Ref {
+	k.checkOpen()
 	if level < 0 || level >= k.opts.Levels {
 		panic(fmt.Sprintf("core: MkNode level %d out of range", level))
 	}
@@ -260,8 +270,42 @@ type Pin struct{ ref node.Ref }
 // Ref returns the pin's current (post-any-GC) ref.
 func (p *Pin) Ref() node.Ref { return p.ref }
 
+// Close releases the kernel: every registered pin is dropped and the node
+// store, unique tables, operator arenas, and compute caches are released
+// for reclamation. Closing twice, or using the kernel after Close, panics
+// deterministically. Close must not race with an in-flight operation.
+func (k *Kernel) Close() {
+	if k.closed.Swap(true) {
+		panic("core: kernel closed twice")
+	}
+	k.pinsMu.Lock()
+	k.pins = make(map[*Pin]struct{})
+	k.pinsMu.Unlock()
+	for _, w := range k.workers {
+		w.resetOps()
+		w.ops = nil
+		w.cache = nil
+		w.pending = nil
+		w.curReduce = nil
+		w.ctxs = nil
+	}
+	k.store = nil
+	k.tables = nil
+}
+
+// Closed reports whether Close has been called.
+func (k *Kernel) Closed() bool { return k.closed.Load() }
+
+// checkOpen panics when the kernel has been closed.
+func (k *Kernel) checkOpen() {
+	if k.closed.Load() {
+		panic("core: use of closed kernel")
+	}
+}
+
 // Pin registers r as an external root and returns its stable handle.
 func (k *Kernel) Pin(r node.Ref) *Pin {
+	k.checkOpen()
 	p := &Pin{ref: r}
 	k.pinsMu.Lock()
 	k.pins[p] = struct{}{}
@@ -343,8 +387,13 @@ func (k *Kernel) Apply(op Op, f, g node.Ref) node.Ref {
 		panic("core: Apply with invalid operand")
 	}
 	k.applySeq++
-	// Operands must survive (and track) a pre-operation collection.
+	// Operands must survive (and track) a pre-operation collection. The
+	// unpin is deferred so an aborted (canceled) build does not leak pins.
 	pf, pg := k.Pin(f), k.Pin(g)
+	defer func() {
+		k.Unpin(pf)
+		k.Unpin(pg)
+	}()
 	k.maybeGC()
 	f, g = pf.ref, pg.ref
 	var r node.Ref
@@ -360,8 +409,6 @@ func (k *Kernel) Apply(op Op, f, g node.Ref) node.Ref {
 	default:
 		panic("core: unknown engine")
 	}
-	k.Unpin(pf)
-	k.Unpin(pg)
 	k.sampleMemory()
 	return r
 }

@@ -48,8 +48,9 @@ type worker struct {
 	pendingTotal int
 	curReduce    [][]opRef // per level: expanded ops awaiting reduction
 
-	nOps         int // Shannon steps since the last context push
-	checkCounter int // countdown to the next steal-request poll
+	nOps          int // Shannon steps since the last context push
+	checkCounter  int // countdown to the next steal-request poll
+	cancelCounter int // countdown to the next interrupt-probe poll
 
 	ctxMu sync.Mutex
 	ctxs  []*evalContext // registered stealable contexts, oldest first
@@ -180,6 +181,7 @@ func (w *worker) expand(allowPush bool) (pushed *ownerCtx, overflow bool) {
 			w.pendingTotal--
 			w.st.Ops++
 			w.nOps++
+			w.pollCancel()
 			if w.nOps >= threshold || (w.shareRequested() && w.pendingTotal > k.opts.GroupSize) {
 				w.nOps = 0
 				if !allowPush {
@@ -381,7 +383,10 @@ func (w *worker) reduceAll(rq [][]opRef) {
 			}
 			q = d
 			// Results owed by thieves have not arrived: stall, becoming
-			// a thief ourselves (§3.3).
+			// a thief ourselves (§3.3). A stalled reducer must also poll
+			// for cancellation: the thief it waits on may already have
+			// unwound from an aborted build.
+			w.checkCancelNow()
 			w.st.Stalls++
 			if w.stallHelp() {
 				emptyRounds = 0
@@ -550,7 +555,7 @@ func (w *worker) idleLoop() {
 	k := w.k
 	wanting := false
 	failures := 0
-	for !k.opDone.Load() {
+	for !k.opDone.Load() && !k.aborted() {
 		if g := w.stealAny(); g != nil {
 			if wanting {
 				k.stealWanted.Add(-1)
@@ -595,17 +600,36 @@ func (k *Kernel) parApply(op Op, f, g node.Ref) node.Ref {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
+			// A canceled build unwinds thief goroutines with the
+			// buildAborted sentinel; swallow it here (the driver
+			// re-raises it after all workers have quiesced).
+			defer k.catchAbort()
 			w.idleLoop()
 		}(w)
 	}
-	w0.evalCycle()
+	func() {
+		// The driving worker's unwind must still release the thieves and
+		// wait for them before propagating, so no goroutine outlives the
+		// top-level operation.
+		defer func() {
+			if r := recover(); r != nil {
+				k.opDone.Store(true)
+				wg.Wait()
+				panic(r)
+			}
+		}()
+		w0.evalCycle()
+	}()
+	k.opDone.Store(true)
+	wg.Wait()
+	if k.aborted() {
+		panic(buildAborted{})
+	}
 	o := w0.opAt(opRef(root))
 	if o.state.Load() != opDone {
 		panic("core: parallel root not reduced")
 	}
 	res := o.resultRef()
-	k.opDone.Store(true)
-	wg.Wait()
 	k.endTopLevel()
 	return res
 }
@@ -615,6 +639,7 @@ func (k *Kernel) parApply(op Op, f, g node.Ref) node.Ref {
 // node (possible in the hybrid engine's depth-first phase) computes the
 // operation immediately and publishes the operator node's result.
 func (w *worker) dfApply(op Op, f, g node.Ref) node.Ref {
+	w.pollCancel()
 	if r, ok := terminal(op, f, g); ok {
 		w.st.Terminals++
 		return r

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"bfbdd"
+)
+
+// applyResult carries one coalesced operation's outcome back to its
+// waiting request.
+type applyResult struct {
+	handle uint64
+	nodes  int
+	err    error
+}
+
+// applyCall is one client apply waiting to be batched.
+type applyCall struct {
+	kind bfbdd.BatchOpKind
+	f, g uint64 // wire handles, resolved on the executor goroutine
+	resp chan applyResult
+}
+
+// coalescer gathers independent binary applies that arrive within a short
+// window and drives them through the engine's batch path as ONE top-level
+// unit — the serving-layer realization of the paper's §4.1 usage mode
+// ("users queue a set of top level operations"): with EnginePar the batch
+// is seeded round-robin across the workers and work stealing balances the
+// remainder, so concurrent client requests become intra-batch parallelism
+// instead of a lock convoy. The window opens when the first apply arrives
+// and closes CoalesceWindow later (or immediately at CoalesceMaxBatch);
+// the flush runs as a single executor task.
+type coalescer struct {
+	sess    *session
+	m       *metrics
+	window  time.Duration
+	maxOps  int
+	timeout time.Duration
+
+	mu      sync.Mutex
+	pending []*applyCall
+	timer   *time.Timer
+	closed  bool
+}
+
+func newCoalescer(s *session, cfg Config, m *metrics) *coalescer {
+	return &coalescer{
+		sess:    s,
+		m:       m,
+		window:  cfg.CoalesceWindow,
+		maxOps:  cfg.CoalesceMaxBatch,
+		timeout: cfg.RequestTimeout,
+	}
+}
+
+// submit queues one apply and waits for its batch to flush through the
+// engine. ctx bounds only this caller's wait; the batch build itself runs
+// under the flush task's deadline so one abandoned request cannot cancel
+// its batch-mates' work.
+func (c *coalescer) submit(ctx context.Context, kind bfbdd.BatchOpKind, f, g uint64) (applyResult, error) {
+	call := &applyCall{kind: kind, f: f, g: g, resp: make(chan applyResult, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return applyResult{}, errSessionClosed
+	}
+	c.pending = append(c.pending, call)
+	n := len(c.pending)
+	if n == 1 && c.window > 0 {
+		c.timer = time.AfterFunc(c.window, c.flush)
+	}
+	full := n >= c.maxOps
+	c.mu.Unlock()
+	if full || c.window <= 0 {
+		c.flush()
+	}
+	select {
+	case res := <-call.resp:
+		return res, res.err
+	case <-ctx.Done():
+		return applyResult{}, ctx.Err()
+	}
+}
+
+// flush takes the pending calls and submits them as one executor task.
+func (c *coalescer) flush() {
+	c.mu.Lock()
+	calls := c.pending
+	c.pending = nil
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	c.mu.Unlock()
+	if len(calls) == 0 {
+		return
+	}
+
+	// The batch runs under its own deadline, decoupled from any single
+	// waiter (one abandoned request must not cancel its batch-mates'
+	// work): the deadline starts when the batch reaches the engine and is
+	// plumbed through ApplyBatchCtx into the kernel's cancellable build
+	// checks. The flush task itself always answers every call; only an
+	// outright rejection (queue full, session closed) is reported here.
+	_, err := c.sess.exec.start(context.Background(), func(context.Context) error {
+		bctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+		defer cancel()
+		c.runBatch(bctx, calls)
+		return nil
+	})
+	if err != nil {
+		for _, call := range calls {
+			call.resp <- applyResult{err: err}
+		}
+	}
+}
+
+// runBatch executes one coalesced batch on the executor goroutine:
+// resolve handles, ApplyBatchCtx, register results.
+func (c *coalescer) runBatch(ctx context.Context, calls []*applyCall) {
+	ops := make([]bfbdd.BatchOp, 0, len(calls))
+	live := make([]*applyCall, 0, len(calls))
+	for _, call := range calls {
+		f, errF := c.sess.bdd(call.f)
+		if errF != nil {
+			call.resp <- applyResult{err: errF}
+			continue
+		}
+		g, errG := c.sess.bdd(call.g)
+		if errG != nil {
+			call.resp <- applyResult{err: errG}
+			continue
+		}
+		ops = append(ops, bfbdd.BatchOp{Kind: call.kind, F: f, G: g})
+		live = append(live, call)
+	}
+	if len(live) == 0 {
+		return
+	}
+	results, err := c.sess.mgr.ApplyBatchCtx(ctx, ops)
+	if err != nil {
+		err = fmt.Errorf("batch build aborted: %w", err)
+		for _, call := range live {
+			call.resp <- applyResult{err: err}
+		}
+		return
+	}
+	c.m.coalescedBatches.Add(1)
+	c.m.coalescedOps.Add(uint64(len(live)))
+	for i, call := range live {
+		b := results[i]
+		call.resp <- applyResult{handle: c.sess.put(b), nodes: b.Size()}
+	}
+}
+
+// close rejects future submits and fails any batch still forming. Queued
+// flush tasks already in the executor drain normally.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	c.closed = true
+	calls := c.pending
+	c.pending = nil
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	c.mu.Unlock()
+	for _, call := range calls {
+		call.resp <- applyResult{err: errSessionClosed}
+	}
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Service-level errors mapped to HTTP statuses by the handlers.
+var (
+	errSessionClosed = errors.New("session is closed")
+	errQueueFull     = errors.New("session queue is full")
+)
+
+// panicError carries a panic out of a session task as an ordinary error.
+// Tasks run engine calls on the executor goroutine, where a raw panic
+// would kill the whole process instead of tripping the HTTP-layer panic
+// firewall; the executor converts it here and the handler's error path
+// maps it (engine "bfbdd:" misuse → 400, anything else → logged 500).
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprint(e.val) }
+
+// task is one unit of serialized session work. fn runs on the executor
+// goroutine; ctx is the submitting request's context (deadline included),
+// which fn threads into cancellable kernel operations.
+type task struct {
+	ctx  context.Context
+	fn   func(ctx context.Context) error
+	err  error
+	done chan struct{}
+}
+
+// executor serializes all engine access for one session. The bfbdd
+// Manager is single-writer by design (the paper's engine parallelizes
+// inside one top-level operation, not across them), so the service layer
+// pins each session's operations to one goroutine; concurrency across
+// sessions comes from each session having its own executor, and
+// concurrency within a session comes from the engine's own workers.
+//
+// The task queue is bounded: a full queue rejects immediately
+// (errQueueFull → 429) instead of building an invisible backlog — the
+// per-session half of the server's admission control.
+type executor struct {
+	mu     sync.Mutex
+	tasks  chan *task
+	closed bool
+
+	// after runs on the executor goroutine after every task (the session
+	// uses it to refresh its stats snapshot without racing the engine).
+	after func()
+
+	loopDone chan struct{}
+}
+
+func newExecutor(queue int, after func()) *executor {
+	e := &executor{
+		tasks:    make(chan *task, queue),
+		after:    after,
+		loopDone: make(chan struct{}),
+	}
+	go e.loop()
+	return e
+}
+
+func (e *executor) loop() {
+	defer close(e.loopDone)
+	for t := range e.tasks {
+		// A submitter that already gave up (deadline, disconnect) gets its
+		// task skipped entirely rather than charged to the session.
+		if err := t.ctx.Err(); err != nil {
+			t.err = err
+			close(t.done)
+			continue
+		}
+		t.err = runTask(t)
+		close(t.done)
+		if e.after != nil {
+			e.after()
+		}
+	}
+}
+
+// runTask executes one task's fn, converting a panic into a panicError.
+func runTask(t *task) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &panicError{val: rec, stack: debug.Stack()}
+		}
+	}()
+	return t.fn(t.ctx)
+}
+
+// start enqueues fn without waiting for it. A non-nil error means the
+// task was rejected and will never run; once accepted, it is guaranteed
+// to either run or (if ctx expires before its turn) complete with ctx's
+// error.
+func (e *executor) start(ctx context.Context, fn func(ctx context.Context) error) (*task, error) {
+	t := &task{ctx: ctx, fn: fn, done: make(chan struct{})}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, errSessionClosed
+	}
+	select {
+	case e.tasks <- t:
+		e.mu.Unlock()
+		return t, nil
+	default:
+		e.mu.Unlock()
+		return nil, errQueueFull
+	}
+}
+
+// submit enqueues fn and waits for it to finish (or for ctx to expire
+// while waiting; the task itself still runs and aborts via its own ctx).
+func (e *executor) submit(ctx context.Context, fn func(ctx context.Context) error) error {
+	t, err := e.start(ctx, fn)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close stops intake and waits for the queue to drain: every task already
+// accepted still runs (graceful shutdown semantics), then the executor
+// goroutine exits. Idempotent.
+func (e *executor) close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.tasks)
+	}
+	e.mu.Unlock()
+	<-e.loopDone
+}

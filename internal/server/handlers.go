@@ -1,0 +1,736 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"bfbdd"
+)
+
+// writeJSON writes v as the JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// errStatus maps service errors to HTTP statuses.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, errBadRequest), errors.Is(err, errNoHandle):
+		return http.StatusBadRequest
+	case errors.Is(err, errNoSession):
+		return http.StatusNotFound
+	case errors.Is(err, errTooManySessions), errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errSessionClosed):
+		return http.StatusGone
+	case errors.Is(err, errServerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func fail(w http.ResponseWriter, err error) {
+	// A panic captured on the executor goroutine gets the same treatment
+	// the HTTP-layer firewall gives handler-goroutine panics: engine
+	// misuse ("bfbdd:" prefix) is the client's fault, anything else is a
+	// server bug — logged with its stack and answered 500.
+	var pe *panicError
+	if errors.As(err, &pe) {
+		if msg, ok := pe.val.(string); ok && strings.HasPrefix(msg, "bfbdd: ") {
+			writeError(w, http.StatusBadRequest, msg)
+			return
+		}
+		log.Printf("server: panic in session task: %v\n%s", pe.val, pe.stack)
+		writeError(w, http.StatusInternalServerError, "internal error")
+		return
+	}
+	writeError(w, errStatus(err), err.Error())
+}
+
+// decode reads the request body as JSON into v, bounding its size.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return nil
+}
+
+// parseOp maps a wire operation name to a batch op kind.
+func parseOp(name string) (bfbdd.BatchOpKind, error) {
+	switch name {
+	case "and":
+		return bfbdd.BatchAnd, nil
+	case "or":
+		return bfbdd.BatchOr, nil
+	case "xor":
+		return bfbdd.BatchXor, nil
+	case "nand":
+		return bfbdd.BatchNand, nil
+	case "nor":
+		return bfbdd.BatchNor, nil
+	case "xnor":
+		return bfbdd.BatchXnor, nil
+	case "diff":
+		return bfbdd.BatchDiff, nil
+	case "implies":
+		return bfbdd.BatchImplies, nil
+	}
+	return 0, fmt.Errorf("%w: unknown op %q", errBadRequest, name)
+}
+
+// routes registers the API surface; every route runs behind the admission
+// pipeline and per-route instrumentation.
+func (s *Server) routes(mux *http.ServeMux) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.metrics.instrument(pattern, s.limits.admit(h)))
+	}
+	handle("POST /v1/sessions", s.handleCreateSession)
+	handle("GET /v1/sessions", s.handleListSessions)
+	handle("GET /v1/sessions/{sid}", s.handleGetSession)
+	handle("DELETE /v1/sessions/{sid}", s.handleCloseSession)
+	handle("POST /v1/sessions/{sid}/vars", s.handleVar)
+	handle("POST /v1/sessions/{sid}/const", s.handleConst)
+	handle("POST /v1/sessions/{sid}/apply", s.handleApply)
+	handle("POST /v1/sessions/{sid}/batch", s.handleBatch)
+	handle("POST /v1/sessions/{sid}/ite", s.handleITE)
+	handle("POST /v1/sessions/{sid}/not", s.handleNot)
+	handle("POST /v1/sessions/{sid}/quantify", s.handleQuantify)
+	handle("POST /v1/sessions/{sid}/restrict", s.handleRestrict)
+	handle("POST /v1/sessions/{sid}/compose", s.handleCompose)
+	handle("POST /v1/sessions/{sid}/free", s.handleFree)
+	handle("POST /v1/sessions/{sid}/query", s.handleQuery)
+	handle("POST /v1/sessions/{sid}/gc", s.handleGC)
+	handle("GET /v1/sessions/{sid}/stats", s.handleStats)
+	handle("GET /v1/sessions/{sid}/bdds/{handle}/dot", s.handleDOT)
+}
+
+// sessionOf resolves the {sid} path segment and touches the session's
+// idle clock.
+func (s *Server) sessionOf(r *http.Request) (*session, error) {
+	sess, err := s.reg.get(r.PathValue("sid"))
+	if err != nil {
+		return nil, err
+	}
+	sess.touch()
+	return sess, nil
+}
+
+// run executes fn serialized on the session's executor under the request
+// context and deadline.
+func run(r *http.Request, sess *session, fn func(ctx context.Context) error) error {
+	return sess.exec.submit(r.Context(), fn)
+}
+
+type sessionInfo struct {
+	Session string `json:"session"`
+	Vars    int    `json:"vars"`
+	Engine  string `json:"engine"`
+	Workers int    `json:"workers"`
+	Created string `json:"created"`
+	IdleFor string `json:"idle_for"`
+}
+
+func (s *Server) info(sess *session) sessionInfo {
+	return sessionInfo{
+		Session: sess.id,
+		Vars:    sess.vars,
+		Engine:  sess.engine.String(),
+		Workers: sess.mgr.Kernel().Options().Workers,
+		Created: sess.created.UTC().Format(time.RFC3339Nano),
+		IdleFor: time.Since(sess.idleSince()).Round(time.Millisecond).String(),
+	}
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req SessionOptions
+	if err := decode(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	sess, err := s.reg.create(req)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.info(sess))
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := s.reg.list()
+	out := make([]sessionInfo, 0, len(sessions))
+	for _, sess := range sessions {
+		out = append(out, s.info(sess))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.reg.get(r.PathValue("sid"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"info":  s.info(sess),
+		"stats": statsJSON(sess.stats()),
+	})
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("sid")
+	if err := s.reg.closeSession(id); err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"closed": id})
+}
+
+type handleResp struct {
+	Handle uint64 `json:"handle"`
+	Nodes  int    `json:"nodes"`
+}
+
+func (s *Server) handleVar(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var req struct {
+		Index   int  `json:"index"`
+		Negated bool `json:"negated,omitempty"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	if req.Index < 0 || req.Index >= sess.vars {
+		fail(w, fmt.Errorf("%w: variable %d out of range [0,%d)", errBadRequest, req.Index, sess.vars))
+		return
+	}
+	var resp handleResp
+	err = run(r, sess, func(context.Context) error {
+		var b *bfbdd.BDD
+		if req.Negated {
+			b = sess.mgr.NVar(req.Index)
+		} else {
+			b = sess.mgr.Var(req.Index)
+		}
+		resp = handleResp{Handle: sess.put(b), Nodes: b.Size()}
+		return nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleConst(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var req struct {
+		Value bool `json:"value"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	var resp handleResp
+	err = run(r, sess, func(context.Context) error {
+		var b *bfbdd.BDD
+		if req.Value {
+			b = sess.mgr.One()
+		} else {
+			b = sess.mgr.Zero()
+		}
+		resp = handleResp{Handle: sess.put(b)}
+		return nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleApply is the coalesced binary-apply endpoint: concurrent applies
+// landing within the coalescing window ride one engine batch.
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var req struct {
+		Op string `json:"op"`
+		F  uint64 `json:"f"`
+		G  uint64 `json:"g"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	kind, err := parseOp(req.Op)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	res, err := sess.coal.submit(r.Context(), kind, req.F, req.G)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, handleResp{Handle: res.handle, Nodes: res.nodes})
+}
+
+// handleBatch submits an explicit batch of independent operations as one
+// engine unit (the client-side variant of what the coalescer does
+// implicitly).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var req struct {
+		Ops []struct {
+			Op string `json:"op"`
+			F  uint64 `json:"f"`
+			G  uint64 `json:"g"`
+		} `json:"ops"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		fail(w, fmt.Errorf("%w: empty batch", errBadRequest))
+		return
+	}
+	kinds := make([]bfbdd.BatchOpKind, len(req.Ops))
+	for i, op := range req.Ops {
+		if kinds[i], err = parseOp(op.Op); err != nil {
+			fail(w, err)
+			return
+		}
+	}
+	var resp struct {
+		Handles []uint64 `json:"handles"`
+		Nodes   []int    `json:"nodes"`
+	}
+	err = run(r, sess, func(ctx context.Context) error {
+		ops := make([]bfbdd.BatchOp, len(req.Ops))
+		for i, op := range req.Ops {
+			f, err := sess.bdd(op.F)
+			if err != nil {
+				return err
+			}
+			g, err := sess.bdd(op.G)
+			if err != nil {
+				return err
+			}
+			ops[i] = bfbdd.BatchOp{Kind: kinds[i], F: f, G: g}
+		}
+		results, err := sess.mgr.ApplyBatchCtx(ctx, ops)
+		if err != nil {
+			return err
+		}
+		resp.Handles = make([]uint64, len(results))
+		resp.Nodes = make([]int, len(results))
+		for i, b := range results {
+			resp.Handles[i] = sess.put(b)
+			resp.Nodes[i] = b.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleITE(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var req struct {
+		F uint64 `json:"f"`
+		G uint64 `json:"g"`
+		H uint64 `json:"h"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	var resp handleResp
+	err = run(r, sess, func(context.Context) error {
+		f, err := sess.bdd(req.F)
+		if err != nil {
+			return err
+		}
+		g, err := sess.bdd(req.G)
+		if err != nil {
+			return err
+		}
+		h, err := sess.bdd(req.H)
+		if err != nil {
+			return err
+		}
+		b := f.ITE(g, h)
+		resp = handleResp{Handle: sess.put(b), Nodes: b.Size()}
+		return nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleNot(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var req struct {
+		F uint64 `json:"f"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	var resp handleResp
+	err = run(r, sess, func(context.Context) error {
+		f, err := sess.bdd(req.F)
+		if err != nil {
+			return err
+		}
+		b := f.Not()
+		resp = handleResp{Handle: sess.put(b), Nodes: b.Size()}
+		return nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var req struct {
+		Kind string `json:"kind"` // exists | forall
+		F    uint64 `json:"f"`
+		Vars []int  `json:"vars"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	if req.Kind != "exists" && req.Kind != "forall" {
+		fail(w, fmt.Errorf("%w: unknown quantifier %q", errBadRequest, req.Kind))
+		return
+	}
+	var resp handleResp
+	err = run(r, sess, func(context.Context) error {
+		f, err := sess.bdd(req.F)
+		if err != nil {
+			return err
+		}
+		var b *bfbdd.BDD
+		if req.Kind == "exists" {
+			b = f.Exists(req.Vars...)
+		} else {
+			b = f.Forall(req.Vars...)
+		}
+		resp = handleResp{Handle: sess.put(b), Nodes: b.Size()}
+		return nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRestrict(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var req struct {
+		F     uint64 `json:"f"`
+		Var   int    `json:"var"`
+		Value bool   `json:"value"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	var resp handleResp
+	err = run(r, sess, func(context.Context) error {
+		f, err := sess.bdd(req.F)
+		if err != nil {
+			return err
+		}
+		b := f.Restrict(req.Var, req.Value)
+		resp = handleResp{Handle: sess.put(b), Nodes: b.Size()}
+		return nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var req struct {
+		F   uint64 `json:"f"`
+		Var int    `json:"var"`
+		G   uint64 `json:"g"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	var resp handleResp
+	err = run(r, sess, func(context.Context) error {
+		f, err := sess.bdd(req.F)
+		if err != nil {
+			return err
+		}
+		g, err := sess.bdd(req.G)
+		if err != nil {
+			return err
+		}
+		b := f.Compose(req.Var, g)
+		resp = handleResp{Handle: sess.put(b), Nodes: b.Size()}
+		return nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var req struct {
+		Handles []uint64 `json:"handles"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	var freed int
+	err = run(r, sess, func(context.Context) error {
+		for _, h := range req.Handles {
+			if err := sess.free(h); err != nil {
+				return err
+			}
+			freed++
+		}
+		return nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"freed": freed})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var req struct {
+		Kind       string `json:"kind"` // size|satcount|anysat|eval|support|equal
+		F          uint64 `json:"f"`
+		G          uint64 `json:"g,omitempty"`
+		Assignment []bool `json:"assignment,omitempty"`
+	}
+	if err := decode(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	var resp any
+	err = run(r, sess, func(context.Context) error {
+		f, err := sess.bdd(req.F)
+		if err != nil {
+			return err
+		}
+		switch req.Kind {
+		case "size":
+			resp = map[string]int{"nodes": f.Size()}
+		case "satcount":
+			resp = map[string]string{"satcount": f.SatCount().String()}
+		case "anysat":
+			a, ok := f.AnySat()
+			out := make(map[string]bool, len(a))
+			for v, val := range a {
+				out[fmt.Sprint(v)] = val
+			}
+			resp = map[string]any{"sat": ok, "assignment": out}
+		case "eval":
+			if len(req.Assignment) != sess.vars {
+				return fmt.Errorf("%w: assignment has %d entries for %d variables",
+					errBadRequest, len(req.Assignment), sess.vars)
+			}
+			resp = map[string]bool{"value": f.Eval(req.Assignment)}
+		case "support":
+			vars := f.Support()
+			if vars == nil {
+				vars = []int{}
+			}
+			resp = map[string][]int{"vars": vars}
+		case "equal":
+			g, err := sess.bdd(req.G)
+			if err != nil {
+				return err
+			}
+			resp = map[string]bool{"equal": f.Equal(g)}
+		default:
+			return fmt.Errorf("%w: unknown query kind %q", errBadRequest, req.Kind)
+		}
+		return nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var nodes uint64
+	err = run(r, sess, func(context.Context) error {
+		sess.mgr.GC()
+		nodes = sess.mgr.NumNodes()
+		return nil
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"live_nodes": nodes})
+}
+
+// statsJSON is the wire shape of a session stats snapshot.
+func statsJSON(st *sessionStats) map[string]any {
+	if st == nil {
+		return nil
+	}
+	return map[string]any{
+		"ops":               st.Ops,
+		"cache_hits":        st.CacheHits,
+		"terminals":         st.Terminals,
+		"expansion_seconds": st.ExpansionTime.Seconds(),
+		"reduction_seconds": st.ReductionTime.Seconds(),
+		"gc_mark_seconds":   st.GCMarkTime.Seconds(),
+		"gc_fix_seconds":    st.GCFixTime.Seconds(),
+		"gc_rehash_seconds": st.GCRehashTime.Seconds(),
+		"steals":            st.Steals,
+		"stolen_ops":        st.StolenOps,
+		"stalls":            st.Stalls,
+		"context_pushes":    st.ContextPushes,
+		"lock_wait_seconds": st.LockWait.Seconds(),
+		"gc_count":          st.GCCount,
+		"peak_bytes":        st.PeakBytes,
+		"live_nodes":        st.NumNodes,
+		"pins":              st.Pins,
+		"handles":           st.Handles,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.reg.get(r.PathValue("sid"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	// Refresh synchronously when the session is idle (cheap), falling
+	// back to the executor-maintained snapshot when it is busy.
+	_ = sess.exec.submit(r.Context(), func(context.Context) error { return nil })
+	writeJSON(w, http.StatusOK, statsJSON(sess.stats()))
+}
+
+func (s *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var h uint64
+	if _, err := fmt.Sscanf(r.PathValue("handle"), "%d", &h); err != nil {
+		fail(w, fmt.Errorf("%w: bad handle %q", errBadRequest, r.PathValue("handle")))
+		return
+	}
+	var buf bytes.Buffer
+	err = run(r, sess, func(context.Context) error {
+		b, err := sess.bdd(h)
+		if err != nil {
+			return err
+		}
+		return bfbdd.WriteDOT(&buf, []string{fmt.Sprintf("h%d", h)}, b)
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = buf.WriteTo(w)
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// limits is the server-wide admission control: a global in-flight request
+// cap (reject with 429 rather than queue — overload sheds instead of
+// melting), the per-request deadline, and the panic firewall that turns
+// engine validation panics into client errors so bad input can never take
+// the process down.
+type limits struct {
+	slots   chan struct{}
+	timeout time.Duration
+	m       *metrics
+}
+
+func newLimits(cfg Config, m *metrics) *limits {
+	return &limits{
+		slots:   make(chan struct{}, cfg.MaxInflight),
+		timeout: cfg.RequestTimeout,
+		m:       m,
+	}
+}
+
+// admit wraps a handler with the full admission pipeline:
+// in-flight cap → per-request deadline → panic firewall.
+func (l *limits) admit(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case l.slots <- struct{}{}:
+		default:
+			l.m.rejectedInflight.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at max in-flight requests")
+			return
+		}
+		l.m.inflight.Add(1)
+		defer func() {
+			l.m.inflight.Add(-1)
+			<-l.slots
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), l.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		defer func() {
+			if rec := recover(); rec != nil {
+				handlePanic(w, r, rec)
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// handlePanic converts panics escaping a handler into HTTP errors. The
+// engine reports misuse (bad variable index, freed handle, wrong
+// assignment length, closed manager …) as "bfbdd:"-prefixed panics; those
+// are client errors. Anything else is a server bug: logged with a stack
+// and answered 500 — the process itself never dies on a request.
+func handlePanic(w http.ResponseWriter, r *http.Request, rec any) {
+	if msg, ok := rec.(string); ok && strings.HasPrefix(msg, "bfbdd: ") {
+		writeError(w, http.StatusBadRequest, msg)
+		return
+	}
+	log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+	writeError(w, http.StatusInternalServerError, "internal error")
+}

@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the per-route request-duration histogram bounds, in
+// seconds.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// numLatencyBuckets must equal len(latencyBuckets); checked in init.
+const numLatencyBuckets = 14
+
+func init() {
+	if len(latencyBuckets) != numLatencyBuckets {
+		panic("server: numLatencyBuckets out of sync with latencyBuckets")
+	}
+}
+
+// routeStats accumulates one route's request counters and latency
+// histogram. All fields are updated atomically on the hot path.
+type routeStats struct {
+	codes   sync.Map // int (status code) -> *atomic.Uint64
+	buckets [numLatencyBuckets + 1]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+}
+
+func (rs *routeStats) observe(code int, d time.Duration) {
+	cp, _ := rs.codes.LoadOrStore(code, new(atomic.Uint64))
+	cp.(*atomic.Uint64).Add(1)
+	rs.count.Add(1)
+	rs.sumNs.Add(int64(d))
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			rs.buckets[i].Add(1)
+			return
+		}
+	}
+	rs.buckets[numLatencyBuckets].Add(1)
+}
+
+// metrics is the server-wide observability registry.
+type metrics struct {
+	sessionsCreated  atomic.Uint64
+	sessionsExpired  atomic.Uint64
+	coalescedBatches atomic.Uint64
+	coalescedOps     atomic.Uint64
+	inflight         atomic.Int64
+	rejectedInflight atomic.Uint64
+
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: make(map[string]*routeStats)}
+}
+
+// route returns (creating on first use) the stats bucket for a route
+// pattern. Routes are registered statically, so cardinality is bounded.
+func (m *metrics) route(pattern string) *routeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[pattern]
+	if !ok {
+		rs = &routeStats{}
+		m.routes[pattern] = rs
+	}
+	return rs
+}
+
+// statusRecorder captures the response code for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency histogram
+// collection for one route pattern.
+func (m *metrics) instrument(pattern string, h http.Handler) http.Handler {
+	rs := m.route(pattern)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sr, r)
+		rs.observe(sr.code, time.Since(start))
+	})
+}
+
+// metricsHandler serves GET /metrics in Prometheus text exposition format:
+// server-level counters, per-route request/latency series, and every
+// Manager.Stats() counter of every live session (from the sessions'
+// lock-free snapshots, so a scrape never blocks behind a build).
+func (s *Server) metricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		defer bw.Flush()
+
+		counter := func(name, help string, v uint64) {
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		}
+		gauge := func(name, help string, v int64) {
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+
+		m := s.metrics
+		gauge("bfbdd_sessions_open", "Currently open sessions.", int64(s.reg.count()))
+		counter("bfbdd_sessions_created_total", "Sessions created since start.", m.sessionsCreated.Load())
+		counter("bfbdd_sessions_expired_total", "Sessions closed by idle expiry.", m.sessionsExpired.Load())
+		counter("bfbdd_coalesced_batches_total", "Apply batches flushed by the request coalescer.", m.coalescedBatches.Load())
+		counter("bfbdd_coalesced_ops_total", "Apply operations carried by coalesced batches.", m.coalescedOps.Load())
+		gauge("bfbdd_http_inflight_requests", "Requests currently being served.", m.inflight.Load())
+		counter("bfbdd_http_rejected_total", "Requests rejected by the in-flight admission limit.", m.rejectedInflight.Load())
+
+		s.writeRouteMetrics(bw)
+		s.writeSessionMetrics(bw)
+	})
+}
+
+func (s *Server) writeRouteMetrics(bw *bufio.Writer) {
+	m := s.metrics
+	m.mu.Lock()
+	patterns := make([]string, 0, len(m.routes))
+	for p := range m.routes {
+		patterns = append(patterns, p)
+	}
+	m.mu.Unlock()
+	sort.Strings(patterns)
+
+	fmt.Fprintf(bw, "# HELP bfbdd_http_requests_total Served requests by route and status code.\n")
+	fmt.Fprintf(bw, "# TYPE bfbdd_http_requests_total counter\n")
+	for _, p := range patterns {
+		rs := m.route(p)
+		type cc struct {
+			code int
+			n    uint64
+		}
+		var codes []cc
+		rs.codes.Range(func(k, v any) bool {
+			codes = append(codes, cc{k.(int), v.(*atomic.Uint64).Load()})
+			return true
+		})
+		sort.Slice(codes, func(i, j int) bool { return codes[i].code < codes[j].code })
+		for _, c := range codes {
+			fmt.Fprintf(bw, "bfbdd_http_requests_total{route=%q,code=\"%d\"} %d\n", p, c.code, c.n)
+		}
+	}
+
+	fmt.Fprintf(bw, "# HELP bfbdd_http_request_duration_seconds Request latency by route.\n")
+	fmt.Fprintf(bw, "# TYPE bfbdd_http_request_duration_seconds histogram\n")
+	for _, p := range patterns {
+		rs := m.route(p)
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += rs.buckets[i].Load()
+			fmt.Fprintf(bw, "bfbdd_http_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", p, ub, cum)
+		}
+		cum += rs.buckets[len(latencyBuckets)].Load()
+		fmt.Fprintf(bw, "bfbdd_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", p, cum)
+		fmt.Fprintf(bw, "bfbdd_http_request_duration_seconds_sum{route=%q} %g\n", p, float64(rs.sumNs.Load())/1e9)
+		fmt.Fprintf(bw, "bfbdd_http_request_duration_seconds_count{route=%q} %d\n", p, rs.count.Load())
+	}
+}
+
+// writeSessionMetrics exports every Manager.Stats() counter per session.
+func (s *Server) writeSessionMetrics(bw *bufio.Writer) {
+	sessions := s.reg.list()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+
+	type series struct {
+		name, help, typ string
+		value           func(*sessionStats) string
+	}
+	secs := func(d time.Duration) string { return fmt.Sprintf("%g", d.Seconds()) }
+	all := []series{
+		{"bfbdd_session_ops_total", "Shannon expansion steps across workers.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.Ops) }},
+		{"bfbdd_session_cache_hits_total", "Compute-cache hits.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.CacheHits) }},
+		{"bfbdd_session_terminals_total", "Operations resolved as terminal cases.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.Terminals) }},
+		{"bfbdd_session_steals_total", "Work-stealing group thefts.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.Steals) }},
+		{"bfbdd_session_stolen_ops_total", "Operations claimed from stolen groups.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.StolenOps) }},
+		{"bfbdd_session_stalls_total", "Reduction passes stalled on thief results.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.Stalls) }},
+		{"bfbdd_session_context_pushes_total", "Evaluation-context switches.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.ContextPushes) }},
+		{"bfbdd_session_lock_wait_seconds_total", "Unique-table lock acquisition wait.", "counter",
+			func(st *sessionStats) string { return secs(st.LockWait) }},
+		{"bfbdd_session_expansion_seconds_total", "Time in the expansion phase.", "counter",
+			func(st *sessionStats) string { return secs(st.ExpansionTime) }},
+		{"bfbdd_session_reduction_seconds_total", "Time in the reduction phase.", "counter",
+			func(st *sessionStats) string { return secs(st.ReductionTime) }},
+		{"bfbdd_session_gc_mark_seconds_total", "Time in the GC mark phase.", "counter",
+			func(st *sessionStats) string { return secs(st.GCMarkTime) }},
+		{"bfbdd_session_gc_fix_seconds_total", "Time in the GC fix phase.", "counter",
+			func(st *sessionStats) string { return secs(st.GCFixTime) }},
+		{"bfbdd_session_gc_rehash_seconds_total", "Time in the GC rehash phase.", "counter",
+			func(st *sessionStats) string { return secs(st.GCRehashTime) }},
+		{"bfbdd_session_gc_runs_total", "Garbage collections.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.GCCount) }},
+		{"bfbdd_session_peak_bytes", "High-water explicit memory footprint.", "gauge",
+			func(st *sessionStats) string { return fmt.Sprint(st.PeakBytes) }},
+		{"bfbdd_session_live_nodes", "Current live BDD node count.", "gauge",
+			func(st *sessionStats) string { return fmt.Sprint(st.NumNodes) }},
+		{"bfbdd_session_pins", "Registered external roots (pins).", "gauge",
+			func(st *sessionStats) string { return fmt.Sprint(st.Pins) }},
+		{"bfbdd_session_handles", "Wire-visible BDD handles.", "gauge",
+			func(st *sessionStats) string { return fmt.Sprint(st.Handles) }},
+	}
+	for _, sr := range all {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", sr.name, sr.help, sr.name, sr.typ)
+		for _, sess := range sessions {
+			st := sess.stats()
+			if st == nil {
+				continue
+			}
+			fmt.Fprintf(bw, "%s{session=%q,engine=%q} %s\n", sr.name, sess.id, sess.engine, sr.value(st))
+		}
+	}
+}

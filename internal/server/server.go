@@ -1,0 +1,173 @@
+// Package server is the concurrent service layer over the bfbdd engine:
+// an HTTP/JSON API that owns a pool of session-scoped BDD managers and
+// exposes the full public construction and query API over the wire.
+//
+// The serving core maps client concurrency onto the engine the way the
+// paper's §4.1 usage mode intends: each session's operations are
+// serialized through a per-session executor (one slow build never blocks
+// other sessions, and the single-writer discipline the Manager requires is
+// enforced structurally), while independent binary applies that arrive
+// within a short coalescing window are gathered into one ApplyBatch call,
+// which the parallel engine seeds across its workers and balances by work
+// stealing. Admission control (session cap, global in-flight cap,
+// per-request deadlines plumbed to the kernel's cancellable build checks),
+// idle-session expiry, and Prometheus-format observability ride along.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config tunes the service layer. The zero value is usable; unset fields
+// take the defaults below.
+type Config struct {
+	// MaxSessions bounds the number of concurrently open sessions.
+	MaxSessions int
+	// MaxInflight bounds concurrently served HTTP requests; excess
+	// requests are rejected with 429 rather than queued.
+	MaxInflight int
+	// RequestTimeout is the per-request deadline. It is plumbed into the
+	// kernel's cancellable build checks, so a deadline that expires
+	// mid-construction aborts the build cooperatively.
+	RequestTimeout time.Duration
+	// SessionIdleExpiry closes sessions with no requests for this long.
+	SessionIdleExpiry time.Duration
+	// CoalesceWindow is how long the first apply of a forming batch waits
+	// for companions before the batch is flushed to the engine.
+	CoalesceWindow time.Duration
+	// CoalesceMaxBatch flushes a forming batch early once it holds this
+	// many operations.
+	CoalesceMaxBatch int
+	// MaxQueuedPerSession bounds each session executor's task queue.
+	MaxQueuedPerSession int
+	// MaxVars bounds the variable count a session may be created with.
+	MaxVars int
+	// MaxWorkers bounds the per-session parallel worker count.
+	MaxWorkers int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.SessionIdleExpiry <= 0 {
+		c.SessionIdleExpiry = 10 * time.Minute
+	}
+	if c.CoalesceWindow <= 0 {
+		c.CoalesceWindow = 2 * time.Millisecond
+	}
+	if c.CoalesceMaxBatch <= 0 {
+		c.CoalesceMaxBatch = 64
+	}
+	if c.MaxQueuedPerSession <= 0 {
+		c.MaxQueuedPerSession = 128
+	}
+	if c.MaxVars <= 0 {
+		c.MaxVars = 1 << 14
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 2 * runtime.NumCPU()
+	}
+	return c
+}
+
+// Server owns the session registry, the admission limits, and the metrics
+// surface. Create one with New, mount Handler on an http.Server, and call
+// Shutdown when done.
+type Server struct {
+	cfg     Config
+	reg     *registry
+	metrics *metrics
+	limits  *limits
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+
+	shutdownOnce sync.Once
+}
+
+// New creates a server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := newMetrics()
+	s := &Server{
+		cfg:         cfg,
+		metrics:     m,
+		limits:      newLimits(cfg, m),
+		reg:         newRegistry(cfg, m),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go s.janitor()
+	return s
+}
+
+// janitor expires idle sessions in the background.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	period := s.cfg.SessionIdleExpiry / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.reg.expireIdle(s.cfg.SessionIdleExpiry)
+		}
+	}
+}
+
+// Handler returns the routed HTTP handler for the whole API surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.routes(mux)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("GET /metrics", s.metricsHandler())
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Shutdown closes every session, draining each session executor's queued
+// work first, and stops the janitor. The HTTP listener itself is drained
+// by http.Server.Shutdown before this is called (see cmd/bfbdd-serve).
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutdownOnce.Do(func() {
+		close(s.janitorStop)
+		select {
+		case <-s.janitorDone:
+		case <-ctx.Done():
+			err = ctx.Err()
+			return
+		}
+		err = s.reg.closeAll(ctx)
+	})
+	return err
+}

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bfbdd"
+)
+
+var (
+	errBadRequest      = errors.New("bad request")
+	errNoSession       = errors.New("no such session")
+	errTooManySessions = errors.New("session limit reached")
+	errServerClosed    = errors.New("server is shutting down")
+	errNoHandle        = errors.New("no such handle")
+)
+
+// SessionOptions is the wire shape of a session-creation request: the
+// full option surface of bfbdd.New.
+type SessionOptions struct {
+	Vars          int     `json:"vars"`
+	Engine        string  `json:"engine,omitempty"`         // df|bf|hybrid|pbf|par (default pbf)
+	Workers       int     `json:"workers,omitempty"`        // par only
+	GCPolicy      string  `json:"gc_policy,omitempty"`      // compact|freelist
+	CacheBits     uint    `json:"cache_bits,omitempty"`     // 2^bits compute-cache entries per level
+	EvalThreshold int     `json:"eval_threshold,omitempty"` // partial-BF evaluation threshold
+	GroupSize     int     `json:"group_size,omitempty"`     // ops per stealable group
+	GCGrowth      float64 `json:"gc_growth,omitempty"`
+	GCMinNodes    uint64  `json:"gc_min_nodes,omitempty"`
+	NoStealing    bool    `json:"no_stealing,omitempty"`
+}
+
+func parseEngine(name string) (bfbdd.Engine, error) {
+	switch name {
+	case "", "pbf":
+		return bfbdd.EnginePBF, nil
+	case "df":
+		return bfbdd.EngineDF, nil
+	case "bf":
+		return bfbdd.EngineBF, nil
+	case "hybrid":
+		return bfbdd.EngineHybrid, nil
+	case "par":
+		return bfbdd.EnginePar, nil
+	}
+	return 0, fmt.Errorf("%w: unknown engine %q", errBadRequest, name)
+}
+
+// options validates the request against the server's limits and lowers it
+// to bfbdd options. Validation happens before any allocation so a
+// malformed request cannot cost the server memory.
+func (o SessionOptions) options(cfg Config) (engine bfbdd.Engine, opts []bfbdd.Option, err error) {
+	if o.Vars <= 0 || o.Vars > cfg.MaxVars {
+		return 0, nil, fmt.Errorf("%w: vars %d out of range [1,%d]", errBadRequest, o.Vars, cfg.MaxVars)
+	}
+	engine, err = parseEngine(o.Engine)
+	if err != nil {
+		return 0, nil, err
+	}
+	opts = append(opts, bfbdd.WithEngine(engine))
+	if o.Workers != 0 {
+		if o.Workers < 0 || o.Workers > cfg.MaxWorkers {
+			return 0, nil, fmt.Errorf("%w: workers %d out of range [1,%d]", errBadRequest, o.Workers, cfg.MaxWorkers)
+		}
+		opts = append(opts, bfbdd.WithWorkers(o.Workers))
+	}
+	switch o.GCPolicy {
+	case "":
+	case "compact":
+		opts = append(opts, bfbdd.WithGCPolicy(bfbdd.GCCompact))
+	case "freelist":
+		opts = append(opts, bfbdd.WithGCPolicy(bfbdd.GCFreeList))
+	default:
+		return 0, nil, fmt.Errorf("%w: unknown gc_policy %q", errBadRequest, o.GCPolicy)
+	}
+	if o.CacheBits != 0 {
+		if o.CacheBits > 24 {
+			return 0, nil, fmt.Errorf("%w: cache_bits %d out of range [1,24]", errBadRequest, o.CacheBits)
+		}
+		opts = append(opts, bfbdd.WithCacheBits(o.CacheBits))
+	}
+	if o.EvalThreshold != 0 {
+		if o.EvalThreshold < 0 {
+			return 0, nil, fmt.Errorf("%w: eval_threshold must be positive", errBadRequest)
+		}
+		opts = append(opts, bfbdd.WithEvalThreshold(o.EvalThreshold))
+	}
+	if o.GroupSize != 0 {
+		if o.GroupSize < 0 {
+			return 0, nil, fmt.Errorf("%w: group_size must be positive", errBadRequest)
+		}
+		opts = append(opts, bfbdd.WithGroupSize(o.GroupSize))
+	}
+	if o.GCGrowth != 0 {
+		if o.GCGrowth < 1 {
+			return 0, nil, fmt.Errorf("%w: gc_growth must be > 1", errBadRequest)
+		}
+		opts = append(opts, bfbdd.WithGCGrowth(o.GCGrowth))
+	}
+	if o.GCMinNodes != 0 {
+		opts = append(opts, bfbdd.WithGCMinNodes(o.GCMinNodes))
+	}
+	if o.NoStealing {
+		opts = append(opts, bfbdd.WithStealing(false))
+	}
+	return engine, opts, nil
+}
+
+// sessionStats is the snapshot the executor refreshes after every task;
+// the metrics endpoint reads it lock-free so a scrape never blocks behind
+// a long build.
+type sessionStats struct {
+	bfbdd.Stats
+	Pins    int
+	Handles int
+}
+
+// session owns one bfbdd.Manager, its wire-visible handle table, its
+// serialized executor, and its apply coalescer. The handle table is
+// touched only on the executor goroutine.
+type session struct {
+	id      string
+	engine  bfbdd.Engine
+	vars    int
+	created time.Time
+
+	mgr  *bfbdd.Manager
+	exec *executor
+	coal *coalescer
+
+	// lastUsed is the unix-nano time of the last request (idle expiry).
+	lastUsed atomic.Int64
+
+	// handles maps wire handle IDs to live BDDs; executor goroutine only.
+	handles    map[uint64]*bfbdd.BDD
+	nextHandle uint64
+
+	snap atomic.Pointer[sessionStats]
+
+	closeOnce sync.Once
+}
+
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: session id entropy unavailable: " + err.Error())
+	}
+	return "s-" + hex.EncodeToString(b[:])
+}
+
+func (s *session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+func (s *session) idleSince() time.Time {
+	return time.Unix(0, s.lastUsed.Load())
+}
+
+// refreshStats runs on the executor goroutine after every task.
+func (s *session) refreshStats() {
+	snap := &sessionStats{
+		Stats:   s.mgr.Stats(),
+		Pins:    s.mgr.Kernel().NumPins(),
+		Handles: len(s.handles),
+	}
+	s.snap.Store(snap)
+}
+
+// stats returns the latest lock-free snapshot.
+func (s *session) stats() *sessionStats { return s.snap.Load() }
+
+// bdd resolves a wire handle; executor goroutine only.
+func (s *session) bdd(h uint64) (*bfbdd.BDD, error) {
+	b, ok := s.handles[h]
+	if !ok {
+		return nil, fmt.Errorf("%w: handle %d", errNoHandle, h)
+	}
+	return b, nil
+}
+
+// put registers a BDD and returns its wire handle; executor goroutine only.
+func (s *session) put(b *bfbdd.BDD) uint64 {
+	s.nextHandle++
+	s.handles[s.nextHandle] = b
+	return s.nextHandle
+}
+
+// free releases a wire handle; executor goroutine only.
+func (s *session) free(h uint64) error {
+	b, ok := s.handles[h]
+	if !ok {
+		return fmt.Errorf("%w: handle %d", errNoHandle, h)
+	}
+	delete(s.handles, h)
+	b.Free()
+	return nil
+}
+
+// close drains the executor and releases the manager: every pin the
+// session created is dropped by Manager.Close, so a closed session can
+// never leak nodes. Idempotent.
+func (s *session) close() {
+	s.closeOnce.Do(func() {
+		s.coal.close()
+		s.exec.close()
+		// The executor goroutine has exited; the handle table and manager
+		// are now exclusively ours.
+		s.handles = nil
+		s.mgr.Close()
+	})
+}
+
+// registry is the session pool: creation against the session cap, lookup,
+// idle expiry, and shutdown.
+type registry struct {
+	cfg Config
+	m   *metrics
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+}
+
+func newRegistry(cfg Config, m *metrics) *registry {
+	return &registry{cfg: cfg, m: m, sessions: make(map[string]*session)}
+}
+
+func (r *registry) create(o SessionOptions) (*session, error) {
+	engine, opts, err := o.options(r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Reserve the registry slot before building the manager so a burst of
+	// creations cannot overshoot the cap, but allocate outside the lock.
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, errServerClosed
+	}
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w (max %d)", errTooManySessions, r.cfg.MaxSessions)
+	}
+	id := newSessionID()
+	r.sessions[id] = nil // placeholder holds the slot
+	r.mu.Unlock()
+
+	s := &session{
+		id:      id,
+		engine:  engine,
+		vars:    o.Vars,
+		created: time.Now(),
+		mgr:     bfbdd.New(o.Vars, opts...),
+		handles: make(map[uint64]*bfbdd.BDD),
+	}
+	s.exec = newExecutor(r.cfg.MaxQueuedPerSession, s.refreshStats)
+	s.coal = newCoalescer(s, r.cfg, r.m)
+	s.touch()
+	s.refreshStats()
+
+	r.mu.Lock()
+	r.sessions[id] = s
+	r.mu.Unlock()
+	r.m.sessionsCreated.Add(1)
+	return s, nil
+}
+
+func (r *registry) get(id string) (*session, error) {
+	r.mu.Lock()
+	s, ok := r.sessions[id]
+	r.mu.Unlock()
+	if !ok || s == nil {
+		return nil, fmt.Errorf("%w: %s", errNoSession, id)
+	}
+	return s, nil
+}
+
+// list returns the live sessions (stable order not guaranteed).
+func (r *registry) list() []*session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (r *registry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// closeSession removes and closes one session.
+func (r *registry) closeSession(id string) error {
+	r.mu.Lock()
+	s, ok := r.sessions[id]
+	if ok {
+		delete(r.sessions, id)
+	}
+	r.mu.Unlock()
+	if !ok || s == nil {
+		return fmt.Errorf("%w: %s", errNoSession, id)
+	}
+	s.close()
+	return nil
+}
+
+// expireIdle closes sessions idle longer than ttl.
+func (r *registry) expireIdle(ttl time.Duration) {
+	cutoff := time.Now().Add(-ttl)
+	var victims []*session
+	r.mu.Lock()
+	for id, s := range r.sessions {
+		if s != nil && s.idleSince().Before(cutoff) {
+			delete(r.sessions, id)
+			victims = append(victims, s)
+		}
+	}
+	r.mu.Unlock()
+	for _, s := range victims {
+		s.close()
+		r.m.sessionsExpired.Add(1)
+	}
+}
+
+// closeAll shuts every session down, draining queued work.
+func (r *registry) closeAll(ctx context.Context) error {
+	r.mu.Lock()
+	r.closed = true
+	all := make([]*session, 0, len(r.sessions))
+	for id, s := range r.sessions {
+		delete(r.sessions, id)
+		if s != nil {
+			all = append(all, s)
+		}
+	}
+	r.mu.Unlock()
+	for _, s := range all {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.close()
+	}
+	return nil
+}

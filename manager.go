@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"bfbdd/internal/core"
@@ -122,6 +123,7 @@ type Manager struct {
 	k         *core.Kernel
 	var2level []int
 	level2var []int
+	closed    atomic.Bool
 }
 
 // New creates a manager with numVars Boolean variables. Initially
@@ -148,8 +150,34 @@ func New(numVars int, opts ...Option) *Manager {
 	return m
 }
 
+// checkOpen panics when the manager has been closed.
+func (m *Manager) checkOpen() {
+	if m.closed.Load() {
+		panic("bfbdd: use of closed Manager")
+	}
+}
+
+// Close releases the manager: every live BDD handle is unpinned and the
+// node store, unique tables, and caches are released for reclamation.
+// Outstanding handles become invalid; using them (or the manager) after
+// Close panics deterministically, and closing twice panics. Freeing an
+// already-obtained handle after Close is a safe no-op, so shutdown code
+// need not order Free calls before Close. Close must not race with
+// in-flight operations — serialize it behind the same discipline as any
+// other manager call.
+func (m *Manager) Close() {
+	if m.closed.Swap(true) {
+		panic("bfbdd: Manager closed twice")
+	}
+	m.k.Close()
+}
+
+// Closed reports whether Close has been called.
+func (m *Manager) Closed() bool { return m.closed.Load() }
+
 // level maps a public variable index to its current order level.
 func (m *Manager) level(v int) int {
+	m.checkOpen()
 	if v < 0 || v >= len(m.var2level) {
 		panic(fmt.Sprintf("bfbdd: variable %d out of range [0,%d)", v, len(m.var2level)))
 	}
@@ -192,10 +220,14 @@ func (m *Manager) SetOrder(newLevel []int) {
 func (m *Manager) NumVars() int { return m.k.Levels() }
 
 // NumNodes returns the current live BDD node count across all variables.
-func (m *Manager) NumNodes() uint64 { return m.k.NumNodes() }
+func (m *Manager) NumNodes() uint64 {
+	m.checkOpen()
+	return m.k.NumNodes()
+}
 
 // wrap pins a ref into a BDD handle.
 func (m *Manager) wrap(r node.Ref) *BDD {
+	m.checkOpen()
 	return &BDD{m: m, pin: m.k.Pin(r)}
 }
 
@@ -214,7 +246,10 @@ func (m *Manager) NVar(i int) *BDD {
 }
 
 // GC forces an immediate garbage collection.
-func (m *Manager) GC() { m.k.GC() }
+func (m *Manager) GC() {
+	m.checkOpen()
+	m.k.GC()
+}
 
 // BDD is a handle to a canonical binary decision diagram. Handles remain
 // valid across the manager's garbage collections until Free is called.
@@ -228,6 +263,7 @@ func (b *BDD) Manager() *Manager { return b.m }
 
 // ref returns the current underlying ref.
 func (b *BDD) ref() node.Ref {
+	b.m.checkOpen()
 	if b.pin == nil {
 		panic("bfbdd: use of freed BDD")
 	}
@@ -236,9 +272,12 @@ func (b *BDD) ref() node.Ref {
 
 // Free releases the handle, allowing the garbage collector to reclaim the
 // diagram if nothing else references it. The BDD must not be used after.
+// Free after the manager's Close is a safe no-op.
 func (b *BDD) Free() {
 	if b.pin != nil {
-		b.m.k.Unpin(b.pin)
+		if !b.m.closed.Load() {
+			b.m.k.Unpin(b.pin)
+		}
 		b.pin = nil
 	}
 }
@@ -350,6 +389,10 @@ func (b *BDD) AnySat() (assignment map[int]bool, ok bool) {
 	}
 	out := make(map[int]bool)
 	for lvl, val := range a {
+		if lvl >= len(b.m.level2var) {
+			panic(fmt.Sprintf("bfbdd: AnySat level %d out of range [0,%d)",
+				lvl, len(b.m.level2var)))
+		}
 		if val >= 0 {
 			out[b.m.level2var[lvl]] = val == 1
 		}
@@ -357,8 +400,13 @@ func (b *BDD) AnySat() (assignment map[int]bool, ok bool) {
 	return out, true
 }
 
-// Eval evaluates b under a complete assignment indexed by variable.
+// Eval evaluates b under a complete assignment indexed by variable. The
+// assignment must have exactly NumVars entries.
 func (b *BDD) Eval(assignment []bool) bool {
+	if len(assignment) != len(b.m.var2level) {
+		panic(fmt.Sprintf("bfbdd: Eval assignment has %d entries for %d variables",
+			len(assignment), len(b.m.var2level)))
+	}
 	byLevel := make([]bool, len(assignment))
 	for v, val := range assignment {
 		byLevel[b.m.var2level[v]] = val
@@ -413,6 +461,7 @@ type Stats struct {
 
 // Stats returns a snapshot of the manager's counters.
 func (m *Manager) Stats() Stats {
+	m.checkOpen()
 	t := m.k.TotalStats()
 	var lock time.Duration
 	for l := 0; l < m.k.Levels(); l++ {
