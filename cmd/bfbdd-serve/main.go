@@ -7,9 +7,15 @@
 //
 //	bfbdd-serve -addr :8707 -request-timeout 30s -pprof
 //
+// With -checkpoint-dir set, every live session is periodically
+// serialized there and recovered — same session ids, same handles — on
+// the next start, so a crash or restart loses at most one checkpoint
+// interval of work.
+//
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
 // in-flight requests and queued session work finish (bounded by
-// -shutdown-timeout), then every session's manager is closed.
+// -shutdown-timeout), a final checkpoint pass runs, then every session's
+// manager is closed.
 package main
 
 import (
@@ -35,6 +41,8 @@ func main() {
 		coalesceWindow  = flag.Duration("coalesce-window", 2*time.Millisecond, "window for gathering concurrent applies into one engine batch")
 		coalesceBatch   = flag.Int("coalesce-max-batch", 64, "flush a forming batch early at this many ops")
 		queuePerSession = flag.Int("max-queued-per-session", 128, "per-session executor queue bound")
+		checkpointDir   = flag.String("checkpoint-dir", "", "directory for session checkpoints; empty disables persistence")
+		checkpointEvery = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint cadence (0 disables the loop; shutdown still checkpoints)")
 		pprofEnabled    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "bound on the graceful drain at exit")
 	)
@@ -48,6 +56,8 @@ func main() {
 		CoalesceWindow:      *coalesceWindow,
 		CoalesceMaxBatch:    *coalesceBatch,
 		MaxQueuedPerSession: *queuePerSession,
+		CheckpointDir:       *checkpointDir,
+		CheckpointInterval:  *checkpointEvery,
 		EnablePprof:         *pprofEnabled,
 	})
 

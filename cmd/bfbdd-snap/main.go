@@ -1,0 +1,228 @@
+// Command bfbdd-snap is the offline toolkit for bfbdd snapshot streams —
+// the files written by Manager.Snapshot, the server's checkpoint
+// directory, and POST /v1/sessions/{sid}/snapshot.
+//
+//	bfbdd-snap info file.snap     header, variable order, per-level node
+//	                              histogram, root table — without building
+//	                              a single BDD node
+//	bfbdd-snap verify file.snap   full restore into a fresh manager;
+//	                              reports the compaction effect and exits
+//	                              nonzero on any corruption
+//	bfbdd-snap repack -o out.snap [-raw] file.snap
+//	                              restore + re-snapshot: offline
+//	                              compaction (drops nothing live, but
+//	                              renumbers densely), optionally switching
+//	                              between delta and raw child encoding
+//	bfbdd-snap dot file.snap      deterministic Graphviz DOT of the
+//	                              stream's roots on stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bfbdd"
+	"bfbdd/internal/snapshot"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd := args[0]; cmd {
+	case "info":
+		err = runInfo(args[1:])
+	case "verify":
+		err = runVerify(args[1:])
+	case "repack":
+		err = runRepack(args[1:])
+	case "dot":
+		err = runDot(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "bfbdd-snap: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfbdd-snap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  bfbdd-snap info   file.snap            inspect header and per-level histogram
+  bfbdd-snap verify file.snap            full restore; nonzero exit on corruption
+  bfbdd-snap repack -o out.snap [-raw] file.snap
+                                         rewrite via restore (offline compaction)
+  bfbdd-snap dot    file.snap            deterministic DOT of the roots on stdout
+`)
+}
+
+func oneFileArg(args []string, cmd string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("%s takes exactly one snapshot file", cmd)
+	}
+	return args[0], nil
+}
+
+// runInfo decodes and checksums the stream without materializing nodes.
+func runInfo(args []string) error {
+	path, err := oneFileArg(args, "info")
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, _ := f.Stat()
+
+	info, err := snapshot.Inspect(f)
+	if err != nil {
+		return err
+	}
+	h := info.Header
+	fmt.Printf("file:        %s (%d bytes)\n", path, st.Size())
+	fmt.Printf("version:     %d\n", h.Version)
+	enc := "raw"
+	if h.Flags&snapshot.FlagDeltaRefs != 0 {
+		enc = "delta"
+	}
+	fmt.Printf("child refs:  %s\n", enc)
+	fmt.Printf("variables:   %d\n", h.NumVars)
+	fmt.Printf("nodes:       %d\n", h.TotalNodes)
+	fmt.Printf("roots:       %d\n", h.NumRoots)
+
+	identity := true
+	for v, l := range info.Var2Level {
+		if v != l {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		fmt.Printf("order:       identity\n")
+	} else {
+		fmt.Printf("order:       %v (var -> level)\n", info.Var2Level)
+	}
+
+	fmt.Printf("levels (stream order, deepest first):\n")
+	fmt.Printf("  %8s %12s %12s %8s\n", "level", "nodes", "bytes", "b/node")
+	for _, li := range info.Levels {
+		fmt.Printf("  %8d %12d %12d %8.2f\n",
+			li.Level, li.Count, li.Bytes, float64(li.Bytes)/float64(li.Count))
+	}
+	if len(info.Roots) > 0 {
+		fmt.Printf("root table:\n")
+		for _, rt := range info.Roots {
+			switch {
+			case rt.Ref.IsZero():
+				fmt.Printf("  id %-8d -> constant 0\n", rt.ID)
+			case rt.Ref.IsOne():
+				fmt.Printf("  id %-8d -> constant 1\n", rt.ID)
+			default:
+				fmt.Printf("  id %-8d -> node at level %d\n", rt.ID, rt.Ref.Level())
+			}
+		}
+	}
+	return nil
+}
+
+// restoreFile restores a snapshot file into a fresh manager.
+func restoreFile(path string) (*bfbdd.Manager, []bfbdd.SnapshotRoot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return bfbdd.RestoreManager(f)
+}
+
+func runVerify(args []string) error {
+	path, err := oneFileArg(args, "verify")
+	if err != nil {
+		return err
+	}
+	m, roots, err := restoreFile(path)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	fmt.Printf("ok: %d vars, %d roots, %d live nodes after compaction\n",
+		m.NumVars(), len(roots), m.NumNodes())
+	for _, rt := range roots {
+		fmt.Printf("  id %-8d size %d\n", rt.ID, rt.B.Size())
+	}
+	return nil
+}
+
+func runRepack(args []string) error {
+	fs := flag.NewFlagSet("repack", flag.ExitOnError)
+	out := fs.String("o", "", "output snapshot file (required)")
+	raw := fs.Bool("raw", false, "write raw child references instead of varint deltas")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("repack needs -o output")
+	}
+	path, err := oneFileArg(fs.Args(), "repack")
+	if err != nil {
+		return err
+	}
+	m, roots, err := restoreFile(path)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+
+	var opts []bfbdd.SnapshotOption
+	if *raw {
+		opts = append(opts, bfbdd.SnapshotRawRefs())
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := m.SnapshotRoots(of, roots, opts...); err != nil {
+		of.Close()
+		os.Remove(*out)
+		return err
+	}
+	if err := of.Close(); err != nil {
+		return err
+	}
+	ist, _ := os.Stat(path)
+	ost, _ := os.Stat(*out)
+	fmt.Printf("repacked %s (%d bytes) -> %s (%d bytes), %d live nodes\n",
+		path, ist.Size(), *out, ost.Size(), m.NumNodes())
+	return nil
+}
+
+func runDot(args []string) error {
+	path, err := oneFileArg(args, "dot")
+	if err != nil {
+		return err
+	}
+	m, roots, err := restoreFile(path)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	if len(roots) == 0 {
+		return fmt.Errorf("snapshot has no roots to render")
+	}
+	names := make([]string, len(roots))
+	bdds := make([]*bfbdd.BDD, len(roots))
+	for i, rt := range roots {
+		names[i] = fmt.Sprintf("id%d", rt.ID)
+		bdds[i] = rt.B
+	}
+	return bfbdd.WriteDOT(os.Stdout, names, bdds...)
+}

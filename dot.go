@@ -12,6 +12,12 @@ import (
 // are 0-branches, solid edges 1-branches, matching the paper's figures.
 // Shared subgraphs are emitted once. names labels the roots; pass nil for
 // automatic f0, f1, … labels.
+//
+// The output is deterministic: node identifiers are assigned in
+// first-reference (depth-first preorder) order from the roots, so two
+// structurally equal BDDs render byte-identically regardless of which
+// engine, worker, or allocation history produced them. Snapshots and DOT
+// dumps of the same function therefore diff cleanly.
 func WriteDOT(w io.Writer, names []string, bdds ...*BDD) error {
 	if len(bdds) == 0 {
 		return fmt.Errorf("bfbdd: WriteDOT needs at least one BDD")
@@ -29,15 +35,23 @@ func WriteDOT(w io.Writer, names []string, bdds ...*BDD) error {
 	fmt.Fprintln(bw, `  t0 [label="0", shape=box];`)
 	fmt.Fprintln(bw, `  t1 [label="1", shape=box];`)
 
+	// ids maps refs to stable sequence numbers in first-reference order;
+	// the physical (level, worker, index) identity never leaks into the
+	// output, where it would vary run to run under the parallel engine.
+	ids := make(map[node.Ref]int)
 	id := func(r node.Ref) string {
 		switch {
 		case r.IsZero():
 			return "t0"
 		case r.IsOne():
 			return "t1"
-		default:
-			return fmt.Sprintf("n%d_%d_%d", r.Level(), r.Worker(), r.Index())
 		}
+		n, ok := ids[r]
+		if !ok {
+			n = len(ids)
+			ids[r] = n
+		}
+		return fmt.Sprintf("n%d", n)
 	}
 	seen := make(map[node.Ref]bool)
 	var emit func(r node.Ref)

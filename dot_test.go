@@ -1,0 +1,74 @@
+package bfbdd_test
+
+import (
+	"strings"
+	"testing"
+
+	"bfbdd"
+)
+
+// TestWriteDOTGolden pins the exact DOT output for a known function:
+// f = (x0 ∧ x1) ∨ x2. Node identifiers must be assigned in depth-first
+// preorder from the root (n0 root at x0, n1 its low child at x2, n2 its
+// high child at x1), never from physical arena coordinates.
+func TestWriteDOTGolden(t *testing.T) {
+	m := bfbdd.New(3)
+	defer m.Close()
+	f := m.Var(0).And(m.Var(1)).Or(m.Var(2))
+
+	var sb strings.Builder
+	if err := bfbdd.WriteDOT(&sb, []string{"f"}, f); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	want := `digraph bdd {
+  rankdir=TB;
+  node [shape=circle];
+  t0 [label="0", shape=box];
+  t1 [label="1", shape=box];
+  r0 [label="f", shape=plaintext];
+  r0 -> n0;
+  n0 [label="x0"];
+  n0 -> n1 [style=dashed];
+  n0 -> n2;
+  n1 [label="x2"];
+  n1 -> t0 [style=dashed];
+  n1 -> t1;
+  n2 [label="x1"];
+  n2 -> n1 [style=dashed];
+  n2 -> t1;
+}
+`
+	if sb.String() != want {
+		t.Fatalf("DOT output drifted from golden.\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestWriteDOTDeterministicAcrossEngines renders the same function built
+// under different engines (and thus different physical node layouts) and
+// requires byte-identical output.
+func TestWriteDOTDeterministicAcrossEngines(t *testing.T) {
+	build := func(opts ...bfbdd.Option) string {
+		m := bfbdd.New(10, opts...)
+		defer m.Close()
+		f := m.Zero()
+		for i := 0; i < 5; i++ {
+			f = f.Or(m.Var(i).And(m.Var(5 + i)))
+		}
+		f = f.Xor(m.Var(2).Implies(m.Var(7)))
+		var sb strings.Builder
+		if err := bfbdd.WriteDOT(&sb, nil, f); err != nil {
+			t.Fatalf("WriteDOT: %v", err)
+		}
+		return sb.String()
+	}
+	base := build()
+	for name, opts := range map[string][]bfbdd.Option{
+		"df":   {bfbdd.WithEngine(bfbdd.EngineDF)},
+		"bf":   {bfbdd.WithEngine(bfbdd.EngineBF)},
+		"par3": {bfbdd.WithEngine(bfbdd.EnginePar), bfbdd.WithWorkers(3)},
+	} {
+		if got := build(opts...); got != base {
+			t.Errorf("engine %s: DOT output differs from pbf baseline\ngot:\n%s\nwant:\n%s", name, got, base)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Checkpoint file layout, per session, inside Config.CheckpointDir:
+//
+//	<id>.snap       the session snapshot (bfbdd/internal/snapshot format)
+//	<id>.meta.json  the SessionOptions the session was created with
+//
+// Writes are crash-safe: each file is produced as a same-directory temp
+// file, fsynced, and moved into place with os.Rename; the meta sidecar is
+// renamed before the snapshot so the snapshot rename is the commit point.
+// Recovery requires both files — an orphaned sidecar (crash between the
+// two renames) leaves the previous snapshot, if any, authoritative.
+const (
+	snapSuffix = ".snap"
+	metaSuffix = ".meta.json"
+)
+
+// checkpointer periodically persists every live session to disk and
+// removes the files of sessions that are deleted or expire. It is created
+// only when Config.CheckpointDir is set.
+type checkpointer struct {
+	dir      string
+	interval time.Duration
+	reg      *registry
+	m        *metrics
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newCheckpointer(cfg Config, reg *registry, m *metrics) *checkpointer {
+	c := &checkpointer{
+		dir:      cfg.CheckpointDir,
+		interval: cfg.CheckpointInterval,
+		reg:      reg,
+		m:        m,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	// A deleted or expired session must not be resurrected by recovery.
+	reg.onClose = c.remove
+	return c
+}
+
+// run is the periodic checkpoint loop; interval <= 0 disables it (only
+// explicit CheckpointNow calls and the final shutdown pass write then).
+func (c *checkpointer) run() {
+	defer close(c.done)
+	if c.interval <= 0 {
+		<-c.stop
+		return
+	}
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.checkpointAll()
+		}
+	}
+}
+
+func (c *checkpointer) shutdown() {
+	close(c.stop)
+	<-c.done
+}
+
+// checkpointAll snapshots every live session; one session's failure never
+// blocks the others.
+func (c *checkpointer) checkpointAll() {
+	for _, s := range c.reg.list() {
+		if err := c.checkpointSession(s); err != nil {
+			c.m.checkpointErrors.Add(1)
+			log.Printf("server: checkpoint of session %s failed: %v", s.id, err)
+		} else {
+			c.m.checkpointsWritten.Add(1)
+		}
+	}
+}
+
+// checkpointSession writes one session's snapshot + meta sidecar with
+// atomic-rename semantics. The snapshot itself is produced on the
+// session's executor, so it sees a quiescent manager; file finalization
+// happens back on the caller to keep the executor stall minimal.
+func (c *checkpointer) checkpointSession(s *session) error {
+	tmp, err := os.CreateTemp(c.dir, "."+s.id+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	err = s.exec.submit(context.Background(), func(context.Context) error {
+		return s.snapshotTo(bw)
+	})
+	if err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+
+	if err := c.writeMeta(s); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(c.dir, s.id+snapSuffix)); err != nil {
+		return err
+	}
+	tmp = nil // both renames landed; nothing to clean up
+	return nil
+}
+
+func (c *checkpointer) writeMeta(s *session) error {
+	data, err := json.Marshal(s.opts)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+s.id+".meta-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, filepath.Join(c.dir, s.id+metaSuffix))
+}
+
+// remove deletes a session's checkpoint files (registry onClose hook).
+func (c *checkpointer) remove(id string) {
+	os.Remove(filepath.Join(c.dir, id+snapSuffix))
+	os.Remove(filepath.Join(c.dir, id+metaSuffix))
+}
+
+// recover rebuilds sessions from the checkpoint directory at startup:
+// every id with both a meta sidecar and a snapshot is restored under its
+// original id and engine configuration. Leftover temp files from a crash
+// mid-checkpoint are swept. Individual failures are logged and counted,
+// never fatal — a server with a corrupt checkpoint still starts.
+func (c *checkpointer) recover() {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		log.Printf("server: cannot read checkpoint dir %s: %v", c.dir, err)
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasPrefix(name, ".") {
+			// Unrenamed temp file: the checkpoint it belonged to never
+			// committed.
+			os.Remove(filepath.Join(c.dir, name))
+			continue
+		}
+		id, ok := strings.CutSuffix(name, snapSuffix)
+		if !ok {
+			continue
+		}
+		if err := c.recoverSession(id); err != nil {
+			c.m.checkpointErrors.Add(1)
+			log.Printf("server: recovery of session %s failed: %v", id, err)
+		} else {
+			c.m.sessionsRecovered.Add(1)
+		}
+	}
+}
+
+func (c *checkpointer) recoverSession(id string) error {
+	meta, err := os.ReadFile(filepath.Join(c.dir, id+metaSuffix))
+	if err != nil {
+		return fmt.Errorf("meta sidecar: %w", err)
+	}
+	var opts SessionOptions
+	if err := json.Unmarshal(meta, &opts); err != nil {
+		return fmt.Errorf("bad meta sidecar: %v", err)
+	}
+	f, err := os.Open(filepath.Join(c.dir, id+snapSuffix))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = c.reg.restore(id, opts, f)
+	return err
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"slices"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,6 +39,8 @@ func errStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, errNoSession):
 		return http.StatusNotFound
+	case errors.Is(err, errSessionClosing), errors.Is(err, errSessionExists):
+		return http.StatusConflict
 	case errors.Is(err, errTooManySessions), errors.Is(err, errQueueFull):
 		return http.StatusTooManyRequests
 	case errors.Is(err, errSessionClosed):
@@ -107,6 +111,7 @@ func (s *Server) routes(mux *http.ServeMux) {
 		mux.Handle(pattern, s.metrics.instrument(pattern, s.limits.admit(h)))
 	}
 	handle("POST /v1/sessions", s.handleCreateSession)
+	handle("POST /v1/sessions/restore", s.handleRestoreSession)
 	handle("GET /v1/sessions", s.handleListSessions)
 	handle("GET /v1/sessions/{sid}", s.handleGetSession)
 	handle("DELETE /v1/sessions/{sid}", s.handleCloseSession)
@@ -124,6 +129,7 @@ func (s *Server) routes(mux *http.ServeMux) {
 	handle("POST /v1/sessions/{sid}/gc", s.handleGC)
 	handle("GET /v1/sessions/{sid}/stats", s.handleStats)
 	handle("GET /v1/sessions/{sid}/bdds/{handle}/dot", s.handleDOT)
+	handle("POST /v1/sessions/{sid}/snapshot", s.handleSnapshot)
 }
 
 // sessionOf resolves the {sid} path segment and touches the session's
@@ -733,4 +739,76 @@ func (s *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = buf.WriteTo(w)
+}
+
+// handleSnapshot serializes the whole session (every live wire handle
+// plus the variable order) in the versioned snapshot format. The stream
+// is buffered before any byte hits the wire so an encoding failure still
+// gets a clean JSON error response.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessionOf(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	var buf bytes.Buffer
+	err = run(r, sess, func(context.Context) error {
+		return sess.snapshotTo(&buf)
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	w.Header().Set("X-Bfbdd-Session", sess.id)
+	w.WriteHeader(http.StatusOK)
+	_, _ = buf.WriteTo(w)
+}
+
+// handleRestoreSession creates a session from a snapshot stream in the
+// request body. The variable count, order, and handle table come from the
+// stream; the engine configuration comes from query parameters (engine,
+// workers, gc_policy), and ?session= asks for a specific session id —
+// refused with 409 if that id is live or still being torn down.
+func (s *Server) handleRestoreSession(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opts := SessionOptions{
+		Engine:   q.Get("engine"),
+		GCPolicy: q.Get("gc_policy"),
+	}
+	if ws := q.Get("workers"); ws != "" {
+		n, err := strconv.Atoi(ws)
+		if err != nil {
+			fail(w, fmt.Errorf("%w: bad workers %q", errBadRequest, ws))
+			return
+		}
+		opts.Workers = n
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSnapshotBytes)
+	sess, err := s.reg.restore(q.Get("session"), opts, body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			fail(w, fmt.Errorf("%w: snapshot exceeds %d bytes", errBadRequest, s.cfg.MaxSnapshotBytes))
+			return
+		}
+		fail(w, err)
+		return
+	}
+	handles := make([]uint64, 0, len(sess.handles))
+	// The session was just committed and has served nothing yet, but reads
+	// still go through the executor: another client that guessed the id
+	// could already be mutating the handle table.
+	_ = run(r, sess, func(context.Context) error {
+		for h := range sess.handles {
+			handles = append(handles, h)
+		}
+		slices.Sort(handles)
+		return nil
+	})
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"info":    s.info(sess),
+		"handles": handles,
+	})
 }

@@ -52,12 +52,15 @@ func (rs *routeStats) observe(code int, d time.Duration) {
 
 // metrics is the server-wide observability registry.
 type metrics struct {
-	sessionsCreated  atomic.Uint64
-	sessionsExpired  atomic.Uint64
-	coalescedBatches atomic.Uint64
-	coalescedOps     atomic.Uint64
-	inflight         atomic.Int64
-	rejectedInflight atomic.Uint64
+	sessionsCreated    atomic.Uint64
+	sessionsExpired    atomic.Uint64
+	sessionsRecovered  atomic.Uint64
+	checkpointsWritten atomic.Uint64
+	checkpointErrors   atomic.Uint64
+	coalescedBatches   atomic.Uint64
+	coalescedOps       atomic.Uint64
+	inflight           atomic.Int64
+	rejectedInflight   atomic.Uint64
 
 	mu     sync.Mutex
 	routes map[string]*routeStats
@@ -124,6 +127,9 @@ func (s *Server) metricsHandler() http.Handler {
 		gauge("bfbdd_sessions_open", "Currently open sessions.", int64(s.reg.count()))
 		counter("bfbdd_sessions_created_total", "Sessions created since start.", m.sessionsCreated.Load())
 		counter("bfbdd_sessions_expired_total", "Sessions closed by idle expiry.", m.sessionsExpired.Load())
+		counter("bfbdd_sessions_recovered_total", "Sessions rebuilt from checkpoints at startup.", m.sessionsRecovered.Load())
+		counter("bfbdd_checkpoints_written_total", "Session checkpoints committed to disk.", m.checkpointsWritten.Load())
+		counter("bfbdd_checkpoint_errors_total", "Failed checkpoint writes or recoveries.", m.checkpointErrors.Load())
 		counter("bfbdd_coalesced_batches_total", "Apply batches flushed by the request coalescer.", m.coalescedBatches.Load())
 		counter("bfbdd_coalesced_ops_total", "Apply operations carried by coalesced batches.", m.coalescedOps.Load())
 		gauge("bfbdd_http_inflight_requests", "Requests currently being served.", m.inflight.Load())

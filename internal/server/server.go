@@ -11,14 +11,18 @@
 // which the parallel engine seeds across its workers and balances by work
 // stealing. Admission control (session cap, global in-flight cap,
 // per-request deadlines plumbed to the kernel's cancellable build checks),
-// idle-session expiry, and Prometheus-format observability ride along.
+// idle-session expiry, session persistence (checkpoint loop + crash
+// recovery over the bfbdd/internal/snapshot format), and
+// Prometheus-format observability ride along.
 package server
 
 import (
 	"context"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -50,6 +54,19 @@ type Config struct {
 	MaxVars int
 	// MaxWorkers bounds the per-session parallel worker count.
 	MaxWorkers int
+	// MaxSnapshotBytes bounds the request body of a session restore.
+	MaxSnapshotBytes int64
+	// CheckpointDir, when set, enables session persistence: every live
+	// session is periodically serialized there (atomic rename, per-session
+	// snapshot + meta sidecar), deleted/expired sessions have their files
+	// removed, a final pass runs on graceful shutdown, and New recovers
+	// every checkpointed session — same id, same engine configuration,
+	// same wire handles — before serving.
+	CheckpointDir string
+	// CheckpointInterval is the periodic checkpoint cadence. Zero or
+	// negative disables the loop; CheckpointNow and the shutdown pass
+	// still write.
+	CheckpointInterval time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 }
@@ -82,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxWorkers <= 0 {
 		c.MaxWorkers = 2 * runtime.NumCPU()
 	}
+	if c.MaxSnapshotBytes <= 0 {
+		c.MaxSnapshotBytes = 1 << 30
+	}
 	return c
 }
 
@@ -93,6 +113,7 @@ type Server struct {
 	reg     *registry
 	metrics *metrics
 	limits  *limits
+	ckpt    *checkpointer // nil unless cfg.CheckpointDir is set
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -100,7 +121,9 @@ type Server struct {
 	shutdownOnce sync.Once
 }
 
-// New creates a server with the given configuration.
+// New creates a server with the given configuration. If CheckpointDir is
+// set, sessions checkpointed by a previous process are recovered before
+// New returns, so the returned server already holds them.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := newMetrics()
@@ -112,8 +135,26 @@ func New(cfg Config) *Server {
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			log.Printf("server: cannot create checkpoint dir %s: %v (persistence disabled)",
+				cfg.CheckpointDir, err)
+		} else {
+			s.ckpt = newCheckpointer(cfg, s.reg, m)
+			s.ckpt.recover()
+			go s.ckpt.run()
+		}
+	}
 	go s.janitor()
 	return s
+}
+
+// CheckpointNow synchronously checkpoints every live session. It is a
+// no-op without a checkpoint directory.
+func (s *Server) CheckpointNow() {
+	if s.ckpt != nil {
+		s.ckpt.checkpointAll()
+	}
 }
 
 // janitor expires idle sessions in the background.
@@ -166,6 +207,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case <-ctx.Done():
 			err = ctx.Err()
 			return
+		}
+		if s.ckpt != nil {
+			// Final pass while sessions are still live, so a graceful stop
+			// persists the latest state; closeAll below deliberately leaves
+			// the files for the next process.
+			s.ckpt.shutdown()
+			s.ckpt.checkpointAll()
 		}
 		err = s.reg.closeAll(ctx)
 	})

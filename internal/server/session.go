@@ -1,21 +1,27 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bfbdd"
+	"bfbdd/internal/snapshot"
 )
 
 var (
 	errBadRequest      = errors.New("bad request")
 	errNoSession       = errors.New("no such session")
+	errSessionClosing  = errors.New("session is mid-close")
+	errSessionExists   = errors.New("session already exists")
 	errTooManySessions = errors.New("session limit reached")
 	errServerClosed    = errors.New("server is shutting down")
 	errNoHandle        = errors.New("no such handle")
@@ -59,6 +65,14 @@ func (o SessionOptions) options(cfg Config) (engine bfbdd.Engine, opts []bfbdd.O
 	if o.Vars <= 0 || o.Vars > cfg.MaxVars {
 		return 0, nil, fmt.Errorf("%w: vars %d out of range [1,%d]", errBadRequest, o.Vars, cfg.MaxVars)
 	}
+	return o.engineOptions(cfg)
+}
+
+// engineOptions is options without the Vars check, for the restore path
+// where the variable count comes from the snapshot stream (and is
+// validated against cfg.MaxVars by peeking the stream header before any
+// manager is built).
+func (o SessionOptions) engineOptions(cfg Config) (engine bfbdd.Engine, opts []bfbdd.Option, err error) {
 	engine, err = parseEngine(o.Engine)
 	if err != nil {
 		return 0, nil, err
@@ -130,6 +144,11 @@ type session struct {
 	vars    int
 	created time.Time
 
+	// opts is the wire request the session was created (or restored)
+	// with; the checkpointer persists it as the meta sidecar so recovery
+	// rebuilds the session under the same engine configuration.
+	opts SessionOptions
+
 	mgr  *bfbdd.Manager
 	exec *executor
 	coal *coalescer
@@ -200,6 +219,23 @@ func (s *session) free(h uint64) error {
 	return nil
 }
 
+// snapshotTo streams the whole session — every wire handle and the
+// manager's variable order — in the bfbdd snapshot format. Executor
+// goroutine only. Handles are written in ascending order so identical
+// session states serialize byte-identically.
+func (s *session) snapshotTo(w io.Writer) error {
+	ids := make([]uint64, 0, len(s.handles))
+	for h := range s.handles {
+		ids = append(ids, h)
+	}
+	slices.Sort(ids)
+	roots := make([]bfbdd.SnapshotRoot, len(ids))
+	for i, h := range ids {
+		roots[i] = bfbdd.SnapshotRoot{ID: h, B: s.handles[h]}
+	}
+	return s.mgr.SnapshotRoots(w, roots)
+}
+
 // close drains the executor and releases the manager: every pin the
 // session created is dropped by Manager.Close, so a closed session can
 // never leak nodes. Idempotent.
@@ -220,13 +256,31 @@ type registry struct {
 	cfg Config
 	m   *metrics
 
+	// onClose, if set, runs after a session is fully closed by an explicit
+	// delete or idle expiry (not by server shutdown — a graceful shutdown
+	// must leave checkpoints on disk). The checkpointer uses it to remove
+	// the session's files.
+	onClose func(id string)
+
 	mu       sync.Mutex
 	sessions map[string]*session
-	closed   bool
+	// closing holds ids whose close() is still running outside the lock.
+	// An id in this set is neither live nor reusable: get() misses it, and
+	// create/restore with that explicit id is refused with
+	// errSessionClosing rather than racing the teardown. Without it, an
+	// idle-expired session could be "resurrected" by a concurrent restore
+	// while its manager is mid-Close.
+	closing map[string]struct{}
+	closed  bool
 }
 
 func newRegistry(cfg Config, m *metrics) *registry {
-	return &registry{cfg: cfg, m: m, sessions: make(map[string]*session)}
+	return &registry{
+		cfg:      cfg,
+		m:        m,
+		sessions: make(map[string]*session),
+		closing:  make(map[string]struct{}),
+	}
 }
 
 func (r *registry) create(o SessionOptions) (*session, error) {
@@ -236,23 +290,16 @@ func (r *registry) create(o SessionOptions) (*session, error) {
 	}
 	// Reserve the registry slot before building the manager so a burst of
 	// creations cannot overshoot the cap, but allocate outside the lock.
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return nil, errServerClosed
+	id, err := r.reserve("")
+	if err != nil {
+		return nil, err
 	}
-	if len(r.sessions) >= r.cfg.MaxSessions {
-		r.mu.Unlock()
-		return nil, fmt.Errorf("%w (max %d)", errTooManySessions, r.cfg.MaxSessions)
-	}
-	id := newSessionID()
-	r.sessions[id] = nil // placeholder holds the slot
-	r.mu.Unlock()
 
 	s := &session{
 		id:      id,
 		engine:  engine,
 		vars:    o.Vars,
+		opts:    o,
 		created: time.Now(),
 		mgr:     bfbdd.New(o.Vars, opts...),
 		handles: make(map[uint64]*bfbdd.BDD),
@@ -261,11 +308,121 @@ func (r *registry) create(o SessionOptions) (*session, error) {
 	s.coal = newCoalescer(s, r.cfg, r.m)
 	s.touch()
 	s.refreshStats()
+	if err := r.commit(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
+// commit fills the reserved slot with the finished session, unless the
+// registry shut down while the session was being built (closeAll already
+// dropped the placeholder, so the session must be torn down here or it
+// would outlive the server).
+func (r *registry) commit(s *session) error {
 	r.mu.Lock()
-	r.sessions[id] = s
+	if r.closed {
+		r.mu.Unlock()
+		s.close()
+		return errServerClosed
+	}
+	r.sessions[s.id] = s
 	r.mu.Unlock()
 	r.m.sessionsCreated.Add(1)
+	return nil
+}
+
+// reserve claims a registry slot for id (generating one if empty) under
+// the session cap, refusing ids that are live or mid-close. The caller
+// must either fill the slot or release() it.
+func (r *registry) reserve(id string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return "", errServerClosed
+	}
+	if id == "" {
+		id = newSessionID()
+	} else {
+		if _, ok := r.sessions[id]; ok {
+			return "", fmt.Errorf("%w: %s", errSessionExists, id)
+		}
+		if _, ok := r.closing[id]; ok {
+			return "", fmt.Errorf("%w: %s", errSessionClosing, id)
+		}
+	}
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		return "", fmt.Errorf("%w (max %d)", errTooManySessions, r.cfg.MaxSessions)
+	}
+	r.sessions[id] = nil // placeholder holds the slot
+	return id, nil
+}
+
+func (r *registry) release(id string) {
+	r.mu.Lock()
+	delete(r.sessions, id)
+	r.mu.Unlock()
+}
+
+// restore builds a session (under the explicit id, if non-empty) from a
+// snapshot stream: the variable count and order and every wire handle
+// come from the stream, the engine configuration from o. The stream
+// header is peeked and vetted against the server's limits before any
+// manager memory is committed.
+func (r *registry) restore(id string, o SessionOptions, src io.Reader) (*session, error) {
+	engine, opts, err := o.engineOptions(r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(src, snapshot.HeaderSize)
+	hb, err := br.Peek(snapshot.HeaderSize)
+	if err != nil {
+		return nil, fmt.Errorf("%w: short snapshot header: %v", errBadRequest, err)
+	}
+	hdr, err := snapshot.ParseHeader(hb)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	if hdr.NumVars > r.cfg.MaxVars {
+		return nil, fmt.Errorf("%w: snapshot has %d vars, server limit is %d",
+			errBadRequest, hdr.NumVars, r.cfg.MaxVars)
+	}
+
+	id, err = r.reserve(id)
+	if err != nil {
+		return nil, err
+	}
+	mgr, roots, err := bfbdd.RestoreManager(br, opts...)
+	if err != nil {
+		r.release(id)
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+
+	o.Vars = mgr.NumVars()
+	s := &session{
+		id:      id,
+		engine:  engine,
+		vars:    mgr.NumVars(),
+		opts:    o,
+		created: time.Now(),
+		mgr:     mgr,
+		handles: make(map[uint64]*bfbdd.BDD, len(roots)),
+	}
+	for _, rt := range roots {
+		if _, dup := s.handles[rt.ID]; dup {
+			mgr.Close()
+			r.release(id)
+			return nil, fmt.Errorf("%w: duplicate handle %d in snapshot", errBadRequest, rt.ID)
+		}
+		s.handles[rt.ID] = rt.B
+		s.nextHandle = max(s.nextHandle, rt.ID)
+	}
+	s.exec = newExecutor(r.cfg.MaxQueuedPerSession, s.refreshStats)
+	s.coal = newCoalescer(s, r.cfg, r.m)
+	s.touch()
+	s.refreshStats()
+	if err := r.commit(s); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -298,18 +455,32 @@ func (r *registry) count() int {
 	return len(r.sessions)
 }
 
+// finish completes a teardown started under the closing set: run the
+// close, fire the onClose hook, then retire the id so it becomes
+// reusable again.
+func (r *registry) finish(s *session) {
+	s.close()
+	if r.onClose != nil {
+		r.onClose(s.id)
+	}
+	r.mu.Lock()
+	delete(r.closing, s.id)
+	r.mu.Unlock()
+}
+
 // closeSession removes and closes one session.
 func (r *registry) closeSession(id string) error {
 	r.mu.Lock()
 	s, ok := r.sessions[id]
-	if ok {
+	if ok && s != nil {
 		delete(r.sessions, id)
+		r.closing[id] = struct{}{}
 	}
 	r.mu.Unlock()
 	if !ok || s == nil {
 		return fmt.Errorf("%w: %s", errNoSession, id)
 	}
-	s.close()
+	r.finish(s)
 	return nil
 }
 
@@ -321,17 +492,21 @@ func (r *registry) expireIdle(ttl time.Duration) {
 	for id, s := range r.sessions {
 		if s != nil && s.idleSince().Before(cutoff) {
 			delete(r.sessions, id)
+			r.closing[id] = struct{}{}
 			victims = append(victims, s)
 		}
 	}
 	r.mu.Unlock()
 	for _, s := range victims {
-		s.close()
+		r.finish(s)
 		r.m.sessionsExpired.Add(1)
 	}
 }
 
-// closeAll shuts every session down, draining queued work.
+// closeAll shuts every session down, draining queued work. It bypasses
+// the closing set and the onClose hook on purpose: closed=true already
+// blocks every resurrection path, and a graceful shutdown must leave
+// checkpoint files on disk for the next process to recover from.
 func (r *registry) closeAll(ctx context.Context) error {
 	r.mu.Lock()
 	r.closed = true

@@ -1,0 +1,81 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"bfbdd"
+	"bfbdd/internal/snapshot"
+)
+
+// seedStreams builds a few valid snapshots of different shapes so the
+// fuzzer starts from structurally interesting corpus entries rather than
+// discovering the framing from scratch.
+func seedStreams(f *testing.F) [][]byte {
+	f.Helper()
+	var out [][]byte
+
+	add := func(m *bfbdd.Manager, roots ...*bfbdd.BDD) {
+		var buf bytes.Buffer
+		if err := m.Snapshot(&buf, roots...); err != nil {
+			f.Fatalf("seed snapshot: %v", err)
+		}
+		out = append(out, buf.Bytes())
+		m.Close()
+	}
+
+	m := bfbdd.New(6)
+	add(m, m.Var(0).And(m.Var(3)).Or(m.Var(5).Not()))
+
+	m = bfbdd.New(4)
+	add(m) // no roots
+
+	m = bfbdd.New(3)
+	add(m, m.Zero(), m.One()) // terminal-only roots
+
+	m = bfbdd.New(8)
+	var raw bytes.Buffer
+	g := m.Var(1).Xor(m.Var(6)).Implies(m.Var(2))
+	if err := m.SnapshotRoots(&raw, []bfbdd.SnapshotRoot{{ID: 7, B: g}},
+		bfbdd.SnapshotRawRefs()); err != nil {
+		f.Fatalf("raw seed: %v", err)
+	}
+	out = append(out, raw.Bytes())
+	m.Close()
+	return out
+}
+
+// FuzzRestore feeds arbitrary bytes through both the structural decoder
+// (Inspect) and the full restore path. Neither may panic; failures must
+// be one of the package's typed errors.
+func FuzzRestore(f *testing.F) {
+	for _, s := range seedStreams(f) {
+		f.Add(s)
+	}
+	f.Add([]byte("BFBDSNAP"))
+	f.Add([]byte{})
+
+	typed := []error{
+		snapshot.ErrBadMagic, snapshot.ErrVersion, snapshot.ErrChecksum,
+		snapshot.ErrTruncated, snapshot.ErrCorrupt, snapshot.ErrTooLarge,
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := snapshot.Inspect(bytes.NewReader(data)); err != nil {
+			ok := false
+			for _, te := range typed {
+				if errors.Is(err, te) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("Inspect: untyped error %v", err)
+			}
+		}
+		m, _, err := bfbdd.RestoreManager(bytes.NewReader(data))
+		if err == nil {
+			m.Close()
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package bfbdd
+
+import (
+	"fmt"
+	"io"
+
+	"bfbdd/internal/node"
+	"bfbdd/internal/snapshot"
+)
+
+// SnapshotRoot labels one BDD in a snapshot with a caller-chosen ID. IDs
+// are opaque to the engine and survive a save/restore round trip, which
+// lets a caller (the server uses its wire handle numbers) re-associate
+// restored diagrams with external state.
+type SnapshotRoot struct {
+	ID uint64
+	B  *BDD
+}
+
+// snapshotConfig collects SnapshotOption settings.
+type snapshotConfig struct {
+	rawRefs bool
+}
+
+// SnapshotOption tunes snapshot output.
+type SnapshotOption func(*snapshotConfig)
+
+// SnapshotRawRefs disables the varint delta encoding of child references,
+// producing a larger but flatter stream (format debugging and encoding
+// ablations; restore accepts both encodings transparently).
+func SnapshotRawRefs() SnapshotOption {
+	return func(c *snapshotConfig) { c.rawRefs = true }
+}
+
+// Snapshot serializes the subgraph reachable from the given roots (plus
+// the manager's variable order) to w in the versioned, checksummed
+// snapshot format; roots are labeled 0, 1, … in argument order. Only
+// reachable nodes are written, so the stream is implicitly garbage
+// collected. Snapshot must not race with operations on the manager —
+// serialize it like any other manager call.
+func (m *Manager) Snapshot(w io.Writer, roots ...*BDD) error {
+	labeled := make([]SnapshotRoot, len(roots))
+	for i, b := range roots {
+		labeled[i] = SnapshotRoot{ID: uint64(i), B: b}
+	}
+	return m.SnapshotRoots(w, labeled)
+}
+
+// SnapshotRoots is Snapshot with caller-chosen root IDs.
+func (m *Manager) SnapshotRoots(w io.Writer, roots []SnapshotRoot, opts ...SnapshotOption) error {
+	m.checkOpen()
+	var cfg snapshotConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	srs := make([]snapshot.Root, len(roots))
+	for i, rt := range roots {
+		if rt.B == nil {
+			return fmt.Errorf("bfbdd: snapshot root %d is nil", i)
+		}
+		if rt.B.m != m {
+			return fmt.Errorf("bfbdd: snapshot root %d belongs to a different manager", i)
+		}
+		srs[i] = snapshot.Root{ID: rt.ID, Ref: rt.B.ref()}
+	}
+	return snapshot.Write(w, m.k.Store(), m.var2level, srs, snapshot.Options{RawRefs: cfg.rawRefs})
+}
+
+// RestoreManager reads a snapshot stream and rebuilds it as a fresh
+// manager: the variable count and order come from the stream, everything
+// else (engine, workers, GC policy, …) from opts, so a snapshot taken
+// under one configuration can be restored under another.
+//
+// Restore is compacting: nodes are re-inserted bottom-up through the
+// canonical constructor into brand-new dense arenas and freshly built
+// per-variable unique tables, so a restored manager holds exactly the
+// live subgraph, renumbered for locality, regardless of how fragmented
+// the saved manager was. The returned roots carry the stream's IDs; each
+// is pinned like any other BDD handle.
+//
+// Malformed input yields a typed error from bfbdd/internal/snapshot
+// (never a panic) and no manager.
+func RestoreManager(r io.Reader, opts ...Option) (m *Manager, roots []SnapshotRoot, err error) {
+	rd, err := snapshot.NewReader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	m = New(rd.NumVars(), opts...)
+	// Close via a captured local: a bare `return nil, nil, err` clears the
+	// named m before the deferred cleanup runs.
+	cleanup := m
+	defer func() {
+		if err != nil {
+			cleanup.Close()
+			m, roots = nil, nil
+		}
+	}()
+	copy(m.var2level, rd.Var2Level())
+	for v, l := range m.var2level {
+		m.level2var[l] = v
+	}
+	srs, err := rd.Resolve(func(level int, low, high node.Ref) node.Ref {
+		return m.k.MkNode(level, low, high)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	roots = make([]SnapshotRoot, len(srs))
+	for i, rt := range srs {
+		roots[i] = SnapshotRoot{ID: rt.ID, B: m.wrap(rt.Ref)}
+	}
+	return m, roots, nil
+}
