@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -36,9 +38,21 @@ type checkpointer struct {
 	reg      *registry
 	m        *metrics
 
+	// commitMu serializes the rename-into-place step of checkpointSession
+	// against remove. Without it, a session closed between its executor
+	// snapshot and the renames would have its files deleted by the onClose
+	// hook first and then resurrected by the stale renames, bringing the
+	// deleted session back on the next startup.
+	commitMu sync.Mutex
+
 	stop chan struct{}
 	done chan struct{}
 }
+
+// errCheckpointSkipped reports that a session was closed between its
+// snapshot and the rename commit point; the checkpoint was correctly
+// discarded, so it is neither a write nor a failure.
+var errCheckpointSkipped = errors.New("session closed mid-checkpoint")
 
 func newCheckpointer(cfg Config, reg *registry, m *metrics) *checkpointer {
 	c := &checkpointer{
@@ -83,10 +97,13 @@ func (c *checkpointer) shutdown() {
 // blocks the others.
 func (c *checkpointer) checkpointAll() {
 	for _, s := range c.reg.list() {
-		if err := c.checkpointSession(s); err != nil {
+		switch err := c.checkpointSession(s); {
+		case errors.Is(err, errCheckpointSkipped):
+			// Benign race with delete/expiry; the close path owns cleanup.
+		case err != nil:
 			c.m.checkpointErrors.Add(1)
 			log.Printf("server: checkpoint of session %s failed: %v", s.id, err)
-		} else {
+		default:
 			c.m.checkpointsWritten.Add(1)
 		}
 	}
@@ -95,15 +112,20 @@ func (c *checkpointer) checkpointAll() {
 // checkpointSession writes one session's snapshot + meta sidecar with
 // atomic-rename semantics. The snapshot itself is produced on the
 // session's executor, so it sees a quiescent manager; file finalization
-// happens back on the caller to keep the executor stall minimal.
+// happens back on the caller to keep the executor stall minimal. Both
+// files are staged as temps first; the renames run under commitMu with a
+// registry liveness re-check, so a session deleted or expired while its
+// snapshot was being written is discarded (errCheckpointSkipped) instead
+// of renamed into place after the onClose hook already removed its files.
 func (c *checkpointer) checkpointSession(s *session) error {
 	tmp, err := os.CreateTemp(c.dir, "."+s.id+".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
+	committed := false
 	defer func() {
-		if tmp != nil {
+		if !committed {
 			tmp.Close()
 			os.Remove(tmpName)
 		}
@@ -126,43 +148,64 @@ func (c *checkpointer) checkpointSession(s *session) error {
 		return err
 	}
 
-	if err := c.writeMeta(s); err != nil {
+	metaTmp, err := c.writeMetaTemp(s)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(metaTmp) // no-op once renamed away
+
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	if !c.reg.live(s.id) {
+		return fmt.Errorf("%w: %s", errCheckpointSkipped, s.id)
+	}
+	if err := os.Rename(metaTmp, filepath.Join(c.dir, s.id+metaSuffix)); err != nil {
 		return err
 	}
 	if err := os.Rename(tmpName, filepath.Join(c.dir, s.id+snapSuffix)); err != nil {
 		return err
 	}
-	tmp = nil // both renames landed; nothing to clean up
+	committed = true // both renames landed; nothing to clean up
 	return nil
 }
 
-func (c *checkpointer) writeMeta(s *session) error {
+// writeMetaTemp stages the session's meta sidecar as a temp file and
+// returns its path; the caller renames it into place (or removes it).
+func (c *checkpointer) writeMetaTemp(s *session) (string, error) {
 	data, err := json.Marshal(s.opts)
 	if err != nil {
-		return err
+		return "", err
 	}
 	tmp, err := os.CreateTemp(c.dir, "."+s.id+".meta-*")
 	if err != nil {
-		return err
+		return "", err
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName)
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		return err
+		os.Remove(tmpName)
+		return "", err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return err
+		os.Remove(tmpName)
+		return "", err
 	}
 	if err := tmp.Close(); err != nil {
-		return err
+		os.Remove(tmpName)
+		return "", err
 	}
-	return os.Rename(tmpName, filepath.Join(c.dir, s.id+metaSuffix))
+	return tmpName, nil
 }
 
 // remove deletes a session's checkpoint files (registry onClose hook).
+// It takes commitMu so it cannot interleave with checkpointSession's
+// rename commit: either the renames land first and the files are deleted
+// here, or the delete lands first and the liveness re-check discards the
+// stale checkpoint.
 func (c *checkpointer) remove(id string) {
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
 	os.Remove(filepath.Join(c.dir, id+snapSuffix))
 	os.Remove(filepath.Join(c.dir, id+metaSuffix))
 }

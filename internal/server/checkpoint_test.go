@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -286,6 +287,79 @@ func TestCheckpointRemovedOnDelete(t *testing.T) {
 	}
 	if _, err := srv2.reg.get(sessA.id); err == nil {
 		t.Fatalf("deleted session came back from the dead")
+	}
+}
+
+// TestCheckpointCannotResurrectClosedSession pins the checkpoint/delete
+// TOCTOU window: a session closed after its executor snapshot completes
+// but before the files are renamed into place must NOT have the stale
+// checkpoint committed — the onClose deletion is final, and the next
+// startup must not recover the session. The window is forced open by
+// wedging the executor so the id sits mid-close while a checkpoint runs.
+func TestCheckpointCannotResurrectClosedSession(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Config{CheckpointDir: dir})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+	sess, err := srv.reg.create(SessionOptions{Vars: 4})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	id := sess.id
+	srv.CheckpointNow()
+	snapPath := filepath.Join(dir, id+snapSuffix)
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("checkpoint missing after CheckpointNow: %v", err)
+	}
+
+	// Wedge the executor so close() blocks draining, holding the id in the
+	// closing set while the checkpoint below races it.
+	gate := make(chan struct{})
+	if _, err := sess.exec.start(context.Background(), func(context.Context) error {
+		<-gate
+		return nil
+	}); err != nil {
+		t.Fatalf("gate task: %v", err)
+	}
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- srv.reg.closeSession(id) }()
+	for {
+		if _, err := srv.reg.get(id); err != nil {
+			break
+		}
+		runtime.Gosched()
+	}
+
+	// Checkpoint the session that is now mid-close. If the executor still
+	// accepts the snapshot task it runs during the drain — before the
+	// onClose hook deletes the files — which is exactly the race: the
+	// commit-time liveness re-check must discard the result either way.
+	ckptDone := make(chan error, 1)
+	go func() { ckptDone <- srv.ckpt.checkpointSession(sess) }()
+	close(gate)
+	if err := <-closeDone; err != nil {
+		t.Fatalf("closeSession: %v", err)
+	}
+	if err := <-ckptDone; err == nil {
+		t.Fatalf("checkpoint of a mid-close session reported success")
+	}
+	if _, err := os.Stat(snapPath); !os.IsNotExist(err) {
+		t.Fatalf("deleted session's checkpoint resurrected (stat: %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+metaSuffix)); !os.IsNotExist(err) {
+		t.Fatalf("deleted session's meta sidecar resurrected")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read dir: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("checkpoint dir not clean after discarded checkpoint: %v", entries)
 	}
 }
 

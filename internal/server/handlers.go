@@ -799,14 +799,20 @@ func (s *Server) handleRestoreSession(w http.ResponseWriter, r *http.Request) {
 	handles := make([]uint64, 0, len(sess.handles))
 	// The session was just committed and has served nothing yet, but reads
 	// still go through the executor: another client that guessed the id
-	// could already be mutating the handle table.
-	_ = run(r, sess, func(context.Context) error {
+	// could already be mutating the handle table. If the executor refuses
+	// (queue full, session concurrently closed) the restored state cannot
+	// be reported accurately, so fail the request; the session itself may
+	// still exist and is discoverable via GET /v1/sessions.
+	if err := run(r, sess, func(context.Context) error {
 		for h := range sess.handles {
 			handles = append(handles, h)
 		}
 		slices.Sort(handles)
 		return nil
-	})
+	}); err != nil {
+		fail(w, fmt.Errorf("session %s restored, but listing its handles failed: %w", sess.id, err))
+		return
+	}
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"info":    s.info(sess),
 		"handles": handles,

@@ -173,6 +173,23 @@ func newSessionID() string {
 	return "s-" + hex.EncodeToString(b[:])
 }
 
+// validSessionID reports whether id matches the generated format ("s-"
+// plus 16 lowercase hex digits). Explicit ids supplied by clients are
+// held to the same shape: the checkpointer embeds ids in file names, so
+// anything looser (path separators, "..", NULs) must never get that far.
+func validSessionID(id string) bool {
+	if len(id) != 18 || id[0] != 's' || id[1] != '-' {
+		return false
+	}
+	for i := 2; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
 
 func (s *session) idleSince() time.Time {
@@ -343,6 +360,9 @@ func (r *registry) reserve(id string) (string, error) {
 	if id == "" {
 		id = newSessionID()
 	} else {
+		if !validSessionID(id) {
+			return "", fmt.Errorf("%w: malformed session id %q", errBadRequest, id)
+		}
 		if _, ok := r.sessions[id]; ok {
 			return "", fmt.Errorf("%w: %s", errSessionExists, id)
 		}
@@ -413,6 +433,15 @@ func (r *registry) restore(id string, o SessionOptions, src io.Reader) (*session
 			r.release(id)
 			return nil, fmt.Errorf("%w: duplicate handle %d in snapshot", errBadRequest, rt.ID)
 		}
+		// nextHandle starts at the largest restored id; an id near the
+		// uint64 ceiling would make the next put() wrap to a restored
+		// handle and silently replace it. No legitimate snapshot gets
+		// anywhere close — handles are allocated sequentially from 1.
+		if rt.ID >= 1<<62 {
+			mgr.Close()
+			r.release(id)
+			return nil, fmt.Errorf("%w: handle %d out of range in snapshot", errBadRequest, rt.ID)
+		}
 		s.handles[rt.ID] = rt.B
 		s.nextHandle = max(s.nextHandle, rt.ID)
 	}
@@ -453,6 +482,20 @@ func (r *registry) count() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.sessions)
+}
+
+// live reports whether id is a committed session that is neither closing
+// nor closed. The checkpointer consults it under its commit lock before
+// renaming checkpoint files into place, so a checkpoint that raced a
+// delete/expiry is discarded instead of resurrecting the session.
+func (r *registry) live(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, closing := r.closing[id]; closing {
+		return false
+	}
+	s, ok := r.sessions[id]
+	return ok && s != nil
 }
 
 // finish completes a teardown started under the closing set: run the

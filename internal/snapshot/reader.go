@@ -148,6 +148,13 @@ func (rd *Reader) Resolve(mk func(level int, low, high node.Ref) node.Ref) ([]Ro
 				return nil, corrupt("stream has %d nodes, header promised %d", len(refs), rd.hdr.TotalNodes)
 			}
 			p := payloadReader{b: payload}
+			// Each root costs at least two payload bytes (id and encoding
+			// uvarints); this bound stops a hostile NumRoots — the header
+			// CRC is not an integrity guarantee — before any proportional
+			// allocation.
+			if uint64(rd.hdr.NumRoots)*2 > uint64(len(payload)) {
+				return nil, corrupt("header claims %d roots in %d payload bytes", rd.hdr.NumRoots, len(payload))
+			}
 			roots := make([]Root, 0, rd.hdr.NumRoots)
 			for i := 0; i < rd.hdr.NumRoots; i++ {
 				id, err := p.uvarint()

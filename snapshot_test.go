@@ -339,6 +339,37 @@ func TestRestoreCorrupted(t *testing.T) {
 	}
 }
 
+// TestRestoreHostileRootCount patches the header's root count to the
+// uint32 ceiling (re-sealing the header CRC, which any attacker can do)
+// and checks the reader rejects the claim against the actual roots
+// payload instead of allocating ~4 billion Root slots up front.
+func TestRestoreHostileRootCount(t *testing.T) {
+	for _, stream := range [][]byte{
+		validStream(t),
+		func() []byte { // degenerate stream: zero nodes, zero roots
+			m := bfbdd.New(4)
+			defer m.Close()
+			var buf bytes.Buffer
+			if err := m.SnapshotRoots(&buf, nil); err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			return buf.Bytes()
+		}(),
+	} {
+		mut := append([]byte(nil), stream...)
+		binary.LittleEndian.PutUint32(mut[16:20], 0xFFFFFFFF)
+		resealHeader(mut)
+		m, _, err := bfbdd.RestoreManager(bytes.NewReader(mut))
+		if err == nil {
+			m.Close()
+			t.Fatalf("hostile root count restored successfully")
+		}
+		if !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("hostile root count: err = %v, want ErrCorrupt", err)
+		}
+	}
+}
+
 // TestRestoreTypedErrors exercises the specific error classes.
 func TestRestoreTypedErrors(t *testing.T) {
 	stream := validStream(t)
