@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"bfbdd/internal/core"
+	"bfbdd/internal/node"
 )
 
 // BatchOpKind names a binary operation for ApplyBatch.
@@ -69,10 +70,28 @@ func (m *Manager) ApplyBatch(ops []BatchOp) []*BDD {
 // the batch at their next poll point, the kernel discards the transient
 // build state, and ctx's error is returned. The manager remains fully
 // usable; no results are returned for a canceled batch.
+//
+// When the batch aborts on a typed error instead — a *BudgetError after
+// the budget escalation ladder is exhausted, or an injected fault — the
+// returned slice has len(ops) entries reporting which operations
+// completed before the abort: a valid handle for each finished op, nil
+// for the rest. The completed handles are fully usable.
 func (m *Manager) ApplyBatchCtx(ctx context.Context, ops []BatchOp) ([]*BDD, error) {
 	refs, err := m.k.ApplyBatchCtx(ctx, m.binOps(ops))
 	if err != nil {
-		return nil, err
+		if len(refs) == 0 {
+			return nil, err
+		}
+		// Partial completion: wrap (pin) the finished results immediately,
+		// before any later operation can trigger a collection that would
+		// reclaim them.
+		out := make([]*BDD, len(refs))
+		for i, r := range refs {
+			if r != node.Nil {
+				out[i] = m.wrap(r)
+			}
+		}
+		return out, err
 	}
 	out := make([]*BDD, len(refs))
 	for i, r := range refs {

@@ -12,10 +12,17 @@
 // the next start, so a crash or restart loses at most one checkpoint
 // interval of work.
 //
+// Resource governance: -session-max-nodes / -session-max-bytes cap every
+// session's engine budget (builds degrade, then abort with 413 instead of
+// OOMing the process), and -max-total-bytes sheds allocating requests
+// with 429 + Retry-After while the whole pool is over budget.
+//
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
 // in-flight requests and queued session work finish (bounded by
-// -shutdown-timeout), a final checkpoint pass runs, then every session's
-// manager is closed.
+// -drain-timeout), a final checkpoint pass runs, then every session's
+// manager is closed. A second SIGINT/SIGTERM abandons the drain and
+// forces an immediate exit (checkpoints already committed stay intact —
+// the next start recovers from them).
 package main
 
 import (
@@ -43,9 +50,15 @@ func main() {
 		queuePerSession = flag.Int("max-queued-per-session", 128, "per-session executor queue bound")
 		checkpointDir   = flag.String("checkpoint-dir", "", "directory for session checkpoints; empty disables persistence")
 		checkpointEvery = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint cadence (0 disables the loop; shutdown still checkpoints)")
+		maxTotalBytes   = flag.Int64("max-total-bytes", 0, "server-wide memory budget; allocating requests are shed with 429 while the pool is over it (0 = unlimited)")
+		sessionMaxNodes = flag.Uint64("session-max-nodes", 0, "per-session live-node budget cap; over-budget builds abort with 413 (0 = unlimited)")
+		sessionMaxBytes = flag.Uint64("session-max-bytes", 0, "per-session memory budget cap in bytes (0 = unlimited)")
 		pprofEnabled    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "bound on the graceful drain at exit")
+		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain at exit")
 	)
+	// -shutdown-timeout is the historical name of -drain-timeout; both set
+	// the same value, last one parsed wins.
+	flag.DurationVar(drainTimeout, "shutdown-timeout", 30*time.Second, "alias for -drain-timeout")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -58,6 +71,9 @@ func main() {
 		MaxQueuedPerSession: *queuePerSession,
 		CheckpointDir:       *checkpointDir,
 		CheckpointInterval:  *checkpointEvery,
+		MaxTotalBytes:       *maxTotalBytes,
+		SessionMaxNodes:     *sessionMaxNodes,
+		SessionMaxBytes:     *sessionMaxBytes,
 		EnablePprof:         *pprofEnabled,
 	})
 
@@ -72,25 +88,42 @@ func main() {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
-	sigc := make(chan os.Signal, 1)
+	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 
 	select {
 	case sig := <-sigc:
-		log.Printf("bfbdd-serve: %s received, draining", sig)
+		log.Printf("bfbdd-serve: %s received, draining (signal again to force exit)", sig)
 	case err := <-errc:
 		log.Fatalf("bfbdd-serve: listener failed: %v", err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Stop accepting and drain in-flight HTTP first, then close sessions
-	// (draining each session executor's accepted work).
-	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("bfbdd-serve: http drain: %v", err)
+
+	// Drain on a separate goroutine so a second signal can cut it short: a
+	// wedged build or full executor queue must not hold the process hostage
+	// to the full drain timeout when the operator is mashing Ctrl-C.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		// Stop accepting and drain in-flight HTTP first, then close
+		// sessions (draining each session executor's accepted work).
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("bfbdd-serve: http drain: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("bfbdd-serve: session drain: %v", err)
+		}
+	}()
+
+	select {
+	case <-drained:
+		log.Printf("bfbdd-serve: shutdown complete")
+	case sig := <-sigc:
+		log.Printf("bfbdd-serve: second %s received, forcing immediate shutdown", sig)
+		cancel()
+		httpSrv.Close()
+		os.Exit(1)
 	}
-	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("bfbdd-serve: session drain: %v", err)
-	}
-	log.Printf("bfbdd-serve: shutdown complete")
 }

@@ -103,6 +103,21 @@ func (c *Cache) Bytes() uint64 {
 	return total
 }
 
+// Shrink releases every segment's storage and returns the bytes freed.
+// It is the memory-pressure escalation step between an early GC and a
+// budget abort: the cache is lossy by contract, so dropping it entirely
+// only costs recomputation. Safe only while the owning worker is
+// quiescent (top-level-operation boundaries) — segments holding
+// operator-node handles for an in-flight build must not disappear
+// mid-reduction.
+func (c *Cache) Shrink() uint64 {
+	freed := c.Bytes()
+	for i := range c.segs {
+		c.segs[i] = segment{}
+	}
+	return freed
+}
+
 func hash3(op uint8, f, g node.Ref) uint64 {
 	h := uint64(f)*0x9E3779B97F4A7C15 + uint64(g)*0xC2B2AE3D27D4EB4F + uint64(op)*0x165667B19E3779F9
 	h ^= h >> 31

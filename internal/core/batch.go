@@ -29,8 +29,22 @@ type BinOp struct {
 // semantics).
 func (k *Kernel) ApplyBatch(ops []BinOp) []node.Ref {
 	results := make([]node.Ref, len(ops))
+	for i := range results {
+		results[i] = node.Nil
+	}
+	k.applyBatchInto(ops, results)
+	return results
+}
+
+// applyBatchInto is the batch engine shared by ApplyBatch and
+// ApplyBatchCtx. It fills results[i] as ops[i] completes, so when a
+// typed abort (budget trip, injected fault) unwinds the batch, the
+// entries already produced report which operations finished — the
+// partial-result contract of ApplyBatchCtx. results must have len(ops)
+// entries, pre-filled with node.Nil.
+func (k *Kernel) applyBatchInto(ops []BinOp, results []node.Ref) {
 	if len(ops) == 0 {
-		return results
+		return
 	}
 	for _, op := range ops {
 		if op.Op >= numBinaryOps {
@@ -53,7 +67,11 @@ func (k *Kernel) ApplyBatch(ops []BinOp) []node.Ref {
 	for _, op := range ops {
 		pins = append(pins, k.Pin(op.F), k.Pin(op.G))
 	}
-	k.maybeGC()
+	// Clear any abort error latched by a previous uninterruptible build
+	// (see Apply); a stale latch would re-abort this batch at first poll.
+	k.abortErr.Store(nil)
+	defer k.convertAbort()
+	k.budgetGate()
 	for i := range ops {
 		ops[i].F = pins[2*i].Ref()
 		ops[i].G = pins[2*i+1].Ref()
@@ -78,7 +96,6 @@ func (k *Kernel) ApplyBatch(ops []BinOp) []node.Ref {
 	}
 
 	k.sampleMemory()
-	return results
 }
 
 // parApplyBatch seeds the operations round-robin over the workers and
@@ -122,6 +139,20 @@ func (k *Kernel) parApplyBatch(ops []BinOp, results []node.Ref) {
 	}
 	wg.Wait()
 	if k.aborted() {
+		// Harvest the roots that did complete before the abort so the
+		// partial-result contract of ApplyBatchCtx holds. The refs point
+		// into the append-only node store, so they stay valid after
+		// abortTopLevel recycles the operator arenas.
+		for i, r := range roots {
+			if !r.val.IsOpHandle() {
+				results[i] = r.val.Ref()
+				continue
+			}
+			o := r.worker.opAt(opRef(r.val))
+			if o.state.Load() == opDone {
+				results[i] = o.resultRef()
+			}
+		}
 		panic(buildAborted{})
 	}
 
@@ -132,7 +163,7 @@ func (k *Kernel) parApplyBatch(ops []BinOp, results []node.Ref) {
 		}
 		o := r.worker.opAt(opRef(r.val))
 		if o.state.Load() != opDone {
-			panic("core: batch root not reduced")
+			panic(internalf("parApplyBatch", "batch root %d not reduced", i))
 		}
 		results[i] = o.resultRef()
 	}

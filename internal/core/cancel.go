@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"runtime/debug"
 
+	"bfbdd/internal/faultinject"
 	"bfbdd/internal/node"
 )
 
@@ -61,14 +63,20 @@ func (w *worker) checkCancelNow() {
 }
 
 // pollCancel is the amortized form of checkCancelNow for per-operation
-// call sites: it probes once every cancelPollInterval invocations.
+// call sites: it probes once every cancelPollInterval invocations. The
+// same cadence drives the mid-build budget check and the worker-stall
+// fault point.
 func (w *worker) pollCancel() {
 	w.cancelCounter--
 	if w.cancelCounter > 0 {
 		return
 	}
 	w.cancelCounter = cancelPollInterval
+	if faultinject.Enabled {
+		faultinject.Stall(faultinject.WorkerStall)
+	}
 	w.checkCancelNow()
+	w.k.checkBudget()
 }
 
 // aborted reports whether the current build has been canceled, without
@@ -84,16 +92,29 @@ func (k *Kernel) abortError() error {
 	return nil
 }
 
-// catchAbort recovers the buildAborted sentinel in a worker goroutine,
-// re-panicking on anything else. It also raises opDone so peers that are
-// not themselves polling (e.g. between steals) drain promptly.
+// catchAbort recovers the buildAborted sentinel in a worker goroutine and
+// raises opDone so peers that are not themselves polling (e.g. between
+// steals) drain promptly. Any other panic on a worker goroutine would
+// kill the whole process (no caller frame recovers it), so it is the
+// containment wall for residual worker panics too: the value is recorded
+// as the build's abort error — wrapped as *InternalError unless already a
+// typed abort payload — and the driver re-raises it on the caller
+// goroutine once every worker has quiesced.
 func (k *Kernel) catchAbort() {
-	if r := recover(); r != nil {
-		if _, ok := r.(buildAborted); !ok {
-			panic(r)
-		}
-		k.opDone.Store(true)
+	r := recover()
+	if r == nil {
+		return
 	}
+	if _, ok := r.(buildAborted); ok {
+		k.opDone.Store(true)
+		return
+	}
+	err, ok := abortPayload(r)
+	if !ok {
+		err = &InternalError{Op: "worker", Cause: r, Stack: debug.Stack()}
+	}
+	k.abortErr.CompareAndSwap(nil, &err)
+	k.opDone.Store(true)
 }
 
 // abortTopLevel discards all transient build state after every worker has
@@ -131,52 +152,78 @@ func interruptible(ctx context.Context) bool {
 // (or its deadline passes) mid-build, the workers abandon the operation at
 // the next poll point and ApplyCtx returns ctx's error. The kernel remains
 // fully usable afterwards.
+//
+// Typed aborts — *BudgetError, *InternalError, injected faults — are
+// returned as errors regardless of whether ctx is cancellable.
 func (k *Kernel) ApplyCtx(ctx context.Context, op Op, f, g node.Ref) (r node.Ref, err error) {
-	if !interruptible(ctx) {
-		return k.Apply(op, f, g), nil
+	if interruptible(ctx) {
+		if err := ctx.Err(); err != nil {
+			return node.Nil, err
+		}
+		k.armInterrupt(ctx.Err)
+		defer k.disarmInterrupt()
 	}
-	if err := ctx.Err(); err != nil {
-		return node.Nil, err
-	}
-	k.armInterrupt(ctx.Err)
-	defer k.disarmInterrupt()
 	defer func() {
-		if rec := recover(); rec != nil {
-			if _, ok := rec.(buildAborted); !ok {
-				panic(rec)
-			}
-			k.abortTopLevel()
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		// Apply's convertAbort already discarded the transient build state
+		// before re-raising either the bare sentinel (cancellation) or a
+		// typed abort payload.
+		if _, ok := rec.(buildAborted); ok {
 			r, err = node.Nil, k.abortError()
 			if err == nil {
 				err = context.Canceled
 			}
+			return
 		}
+		if e, ok := abortPayload(rec); ok {
+			r, err = node.Nil, e
+			return
+		}
+		panic(rec)
 	}()
 	return k.Apply(op, f, g), nil
 }
 
 // ApplyBatchCtx is ApplyBatch with cooperative cancellation (see
 // ApplyCtx). On cancellation none of the batch's results are returned.
+// On a typed abort (budget trip, injected fault) the returned slice
+// reports the operations that did complete: refs[i] is the result of
+// ops[i] if it finished before the abort and node.Nil otherwise. The
+// completed refs are canonical but unpinned; a caller that wants them to
+// survive the next collection must pin them before operating further.
 func (k *Kernel) ApplyBatchCtx(ctx context.Context, ops []BinOp) (refs []node.Ref, err error) {
-	if !interruptible(ctx) {
-		return k.ApplyBatch(ops), nil
+	results := make([]node.Ref, len(ops))
+	for i := range results {
+		results[i] = node.Nil
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if interruptible(ctx) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		k.armInterrupt(ctx.Err)
+		defer k.disarmInterrupt()
 	}
-	k.armInterrupt(ctx.Err)
-	defer k.disarmInterrupt()
 	defer func() {
-		if rec := recover(); rec != nil {
-			if _, ok := rec.(buildAborted); !ok {
-				panic(rec)
-			}
-			k.abortTopLevel()
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if _, ok := rec.(buildAborted); ok {
 			refs, err = nil, k.abortError()
 			if err == nil {
 				err = context.Canceled
 			}
+			return
 		}
+		if e, ok := abortPayload(rec); ok {
+			refs, err = results, e
+			return
+		}
+		panic(rec)
 	}()
-	return k.ApplyBatch(ops), nil
+	k.applyBatchInto(ops, results)
+	return results, nil
 }

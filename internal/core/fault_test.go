@@ -1,0 +1,181 @@
+//go:build faultinject
+
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bfbdd/internal/faultinject"
+	"bfbdd/internal/node"
+)
+
+// faultOperands builds two pinned random DNFs big enough that an XOR of
+// them visits every allocation fault point many times.
+func faultOperands(k *Kernel) (a, b *Pin) {
+	rng := rand.New(rand.NewSource(17))
+	a = k.Pin(randomDNF(k, rng, k.Levels(), 40, 9))
+	b = k.Pin(randomDNF(k, rng, k.Levels(), 40, 9))
+	return a, b
+}
+
+// TestInjectedAllocFaultsTyped drives an injected failure through each
+// allocation fault point and checks the containment contract: ApplyCtx
+// returns a typed error wrapping faultinject.ErrInjected (never a raw
+// panic), and after disarming, the kernel is fully usable.
+func TestInjectedAllocFaultsTyped(t *testing.T) {
+	points := []faultinject.Point{
+		faultinject.UniqueAdd, faultinject.ArenaAlloc, faultinject.OpAlloc,
+	}
+	for _, cfg := range []struct {
+		name    string
+		engine  Engine
+		workers int
+	}{
+		{"pbf", EnginePBF, 1},
+		{"par4", EnginePar, 4},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			for _, p := range points {
+				t.Run(p.String(), func(t *testing.T) {
+					faultinject.Reset()
+					defer faultinject.Reset()
+
+					k := cancelTestKernel(cfg.engine, cfg.workers)
+					a, b := faultOperands(k)
+
+					faultinject.Arm(p, nil) // fire on the first visit
+					_, err := k.ApplyCtx(context.Background(), OpXor, a.Ref(), b.Ref())
+					faultinject.Disarm(p)
+					if err == nil {
+						t.Fatalf("%s armed but build completed", p)
+					}
+					if !errors.Is(err, faultinject.ErrInjected) {
+						t.Fatalf("err = %v, want ErrInjected", err)
+					}
+					if faultinject.Fired(p) == 0 {
+						t.Fatalf("%s never fired", p)
+					}
+
+					// Disarmed, the same build must complete and agree with
+					// a fresh kernel on random assignments.
+					rp := k.Pin(k.Apply(OpXor, a.Ref(), b.Ref()))
+					ref := cancelTestKernel(cfg.engine, cfg.workers)
+					ra, rb := faultOperands(ref)
+					refR := ref.Apply(OpXor, ra.Ref(), rb.Ref())
+					rng := rand.New(rand.NewSource(29))
+					assignment := make([]bool, k.Levels())
+					for trial := 0; trial < 64; trial++ {
+						for i := range assignment {
+							assignment[i] = rng.Intn(2) == 1
+						}
+						if k.Eval(rp.Ref(), assignment) != ref.Eval(refR, assignment) {
+							t.Fatal("post-fault result disagrees with reference")
+						}
+					}
+					checkInvariants(t, k, []node.Ref{rp.Ref()})
+				})
+			}
+		})
+	}
+}
+
+// TestInjectedFaultPlainApplyPanicsTyped checks the non-Ctx contract: a
+// plain Apply hit by an injected fault panics the typed error (so even
+// panic-style callers get a classifiable value), and the kernel stays
+// usable after the unwind.
+func TestInjectedFaultPlainApplyPanicsTyped(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+
+	k := cancelTestKernel(EnginePar, 4)
+	a, b := faultOperands(k)
+
+	faultinject.Arm(faultinject.UniqueAdd, nil)
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		k.Apply(OpXor, a.Ref(), b.Ref())
+	}()
+	faultinject.Disarm(faultinject.UniqueAdd)
+	if recovered == nil {
+		t.Fatal("armed Apply completed without panicking")
+	}
+	err, ok := recovered.(error)
+	if !ok {
+		t.Fatalf("panic value %T, want a typed error", recovered)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("panic error = %v, want ErrInjected", err)
+	}
+
+	r := k.Apply(OpAnd, a.Ref(), a.Ref())
+	if r != a.Ref() {
+		t.Fatal("kernel inconsistent after injected-fault panic")
+	}
+}
+
+// TestInjectedKernelInvariantIsInternalError checks the invariant wall:
+// the KernelInvariant point models a "can't happen" check tripping inside
+// MkNode, and must surface as a typed *InternalError (the serving layer
+// poisons the session on exactly this type).
+func TestInjectedKernelInvariantIsInternalError(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+
+	k := cancelTestKernel(EnginePBF, 1)
+	faultinject.Arm(faultinject.KernelInvariant, faultinject.FailFirst(1))
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		k.VarRef(3)
+	}()
+	var ie *InternalError
+	err, ok := recovered.(error)
+	if !ok || !errors.As(err, &ie) {
+		t.Fatalf("recovered %T (%v), want *InternalError", recovered, recovered)
+	}
+	if ie.Op != "MkNode" || len(ie.Stack) == 0 {
+		t.Fatalf("InternalError missing context: op=%q stack=%d bytes", ie.Op, len(ie.Stack))
+	}
+}
+
+// TestCancelDuringGCStallWidened is the tagged variant of the GC-cancel
+// storm: a stall armed inside the mark phase holds every collection open
+// for a few milliseconds per level, so the countdown expiries that land
+// mid-collection do so while the GC worker goroutines are provably still
+// running. The collection must still complete and the kernel stay
+// canonical.
+func TestCancelDuringGCStallWidened(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+
+	k := gcStormKernel(EnginePar, 4, GCCompact)
+	pins := stormOperands(k, 4)
+	faultinject.ArmStall(faultinject.GCStall, time.Millisecond, nil)
+
+	var cancelled int
+	for allow := int64(1); allow <= 12; allow++ {
+		ctx := newCountdownCtx(allow)
+		_, err := k.ApplyCtx(ctx, OpXor, pins[int(allow)%4].Ref(), pins[(int(allow)+1)%4].Ref())
+		if err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("allow=%d: unexpected error %v", allow, err)
+			}
+			cancelled++
+		}
+	}
+	faultinject.Disarm(faultinject.GCStall)
+	if cancelled == 0 {
+		t.Fatal("no build was cancelled")
+	}
+	if faultinject.Fired(faultinject.GCStall) == 0 {
+		t.Fatal("GC stall never fired; no collection ran during the storm")
+	}
+
+	rp := k.Pin(k.Apply(OpXor, pins[0].Ref(), pins[1].Ref()))
+	checkInvariants(t, k, []node.Ref{rp.Ref()})
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bfbdd/internal/faultinject"
 	"bfbdd/internal/node"
 	"bfbdd/internal/stats"
 )
@@ -74,6 +75,9 @@ func (k *Kernel) GC() {
 	for _, w := range k.workers {
 		w.cache.InvalidateBDD()
 	}
+	// Reconcile the approximate live counters with post-collection truth
+	// (frees and compaction moves are invisible to NoteAlloc).
+	k.store.SyncLive()
 	k.gcLiveAfter = k.store.NumNodes()
 	k.mem.GCCount++
 	k.mem.GCPauseNs += int64(time.Since(t0))
@@ -128,6 +132,13 @@ func (k *Kernel) gcCompact() {
 			// Phase 1: mark + compact, level by level, barrier per level.
 			tMark := time.Now()
 			for lvl := 0; lvl < L; lvl++ {
+				if faultinject.Enabled {
+					// Stall only: an injected failure inside the barrier
+					// protocol would deadlock the other mark goroutines.
+					// The delay widens the mid-collection window for
+					// cancel-during-GC tests.
+					faultinject.Stall(faultinject.GCStall)
+				}
 				old := st.Arena(w, lvl)
 				n := old.Len()
 				f := make([]uint32, n)

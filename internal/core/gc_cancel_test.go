@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"bfbdd/internal/node"
+)
+
+// gcStormKernel collects at (nearly) every top-level-operation boundary:
+// GCMinNodes 1 and a growth factor barely above 1 make maybeGC fire as
+// soon as any garbage exists, so a storm of cancelled operations sweeps
+// the cancellation point across mark-compact collections in flight.
+func gcStormKernel(engine Engine, workers int, policy GCPolicy) *Kernel {
+	return NewKernel(Options{
+		Levels: 20, Engine: engine, Workers: workers,
+		EvalThreshold: 64, GroupSize: 32, Stealing: true,
+		GC: policy, GCMinNodes: 1, GCGrowth: 1.05,
+	})
+}
+
+// stormOperands builds a pool of pinned random DNFs plus plenty of
+// unpinned construction garbage for the collections to chew on. GC is
+// inhibited during construction because the storm kernels collect at
+// every boundary and randomDNF holds raw (unpinned) intermediate refs.
+func stormOperands(k *Kernel, n int) []*Pin {
+	rng := rand.New(rand.NewSource(41))
+	k.InhibitGC()
+	pins := make([]*Pin, 0, n)
+	for i := 0; i < n; i++ {
+		pins = append(pins, k.Pin(randomDNF(k, rng, k.Levels(), 40, 9)))
+	}
+	k.ReleaseGC()
+	return pins
+}
+
+// TestCancelDuringGCStorm cancels builds at every countdown offset across
+// kernels that garbage-collect at every operation boundary, so expiries
+// land before, during, and after mark-compact collections. Whatever the
+// interleaving, the collection must complete (GC is a boundary operation
+// and is never torn), the build must abort cleanly, and the kernel must
+// stay canonical — verified by cross-evaluating post-storm results
+// against an uncancelled reference kernel. Run with -race; the GC worker
+// goroutines and the cancellation probe are exactly the kind of pairing
+// the detector is for.
+func TestCancelDuringGCStorm(t *testing.T) {
+	for _, cfg := range []struct {
+		name    string
+		engine  Engine
+		workers int
+		policy  GCPolicy
+	}{
+		{"pbf-compact", EnginePBF, 1, GCCompact},
+		{"par4-compact", EnginePar, 4, GCCompact},
+		{"par4-freelist", EnginePar, 4, GCFreeList},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			// Uncancelled reference: same operand pool, default GC cadence.
+			ref := cancelTestKernel(cfg.engine, cfg.workers)
+			refPins := stormOperands(ref, 8)
+
+			k := gcStormKernel(cfg.engine, cfg.workers, cfg.policy)
+			pins := stormOperands(k, 8)
+
+			// Storm: sweep the countdown so the deadline expires at every
+			// distinct point of the boundary-GC + build pipeline. Each
+			// operation either completes or aborts with the deadline error;
+			// anything else is a consistency failure.
+			allowances := make([]int64, 0, 32)
+			for a := int64(1); a <= 24; a++ {
+				allowances = append(allowances, a)
+			}
+			// Generous tail so some storm operations run to completion.
+			allowances = append(allowances, 32, 64, 128, 256, 1024, 1<<20)
+			var cancelled, completed int
+			for n, allow := range allowances {
+				i, j := n%len(pins), (n+3)%len(pins)
+				ctx := newCountdownCtx(allow)
+				_, err := k.ApplyCtx(ctx, OpXor, pins[i].Ref(), pins[j].Ref())
+				switch {
+				case err == nil:
+					completed++
+				case errors.Is(err, context.DeadlineExceeded):
+					cancelled++
+				default:
+					t.Fatalf("storm op (allow=%d): unexpected error %v", allow, err)
+				}
+			}
+			if cancelled == 0 {
+				t.Fatal("storm never cancelled a build; countdown sweep too generous")
+			}
+			if completed == 0 {
+				t.Fatal("storm never completed a build; countdown sweep too tight")
+			}
+			if k.Memory().GCCount == 0 {
+				t.Fatal("storm never garbage-collected; GC thresholds not aggressive enough")
+			}
+			t.Logf("storm: %d cancelled, %d completed, %d collections",
+				cancelled, completed, k.Memory().GCCount)
+
+			// The kernel must still produce canonical, correct results.
+			// Each result is pinned immediately: the storm kernel collects
+			// at every boundary, so the next Apply would relocate (or
+			// reclaim) an unpinned ref from a previous iteration.
+			resultPins := make([]*Pin, 0, len(pins)/2)
+			refResults := make([]node.Ref, 0, len(pins)/2)
+			for i := 0; i+1 < len(pins); i += 2 {
+				resultPins = append(resultPins, k.Pin(k.Apply(OpXor, pins[i].Ref(), pins[i+1].Ref())))
+				refResults = append(refResults, ref.Apply(OpXor, refPins[i].Ref(), refPins[i+1].Ref()))
+			}
+			rng := rand.New(rand.NewSource(53))
+			assignment := make([]bool, k.Levels())
+			for trial := 0; trial < 64; trial++ {
+				for i := range assignment {
+					assignment[i] = rng.Intn(2) == 1
+				}
+				for i, p := range resultPins {
+					if k.Eval(p.Ref(), assignment) != ref.Eval(refResults[i], assignment) {
+						t.Fatalf("post-storm result %d disagrees with reference", i)
+					}
+				}
+			}
+			results := make([]node.Ref, len(resultPins))
+			for i, p := range resultPins {
+				results[i] = p.Ref()
+			}
+			checkInvariants(t, k, results)
+		})
+	}
+}
+
+// TestCancelAtGCBoundaryExact pins the expiry to the exact boundary the
+// collection runs at: the entry check consumes the countdown's only
+// allowance, so Err flips to non-nil before the pre-build collection
+// starts, and the first worker poll after the collection aborts the
+// build. The collection itself must still have completed (GCCount
+// advances) and the kernel must stay usable.
+func TestCancelAtGCBoundaryExact(t *testing.T) {
+	k := gcStormKernel(EnginePar, 4, GCCompact)
+	pins := stormOperands(k, 4)
+
+	before := k.Memory().GCCount
+	ctx := newCountdownCtx(1) // entry check passes; first poll expires
+	_, err := k.ApplyCtx(ctx, OpXor, pins[0].Ref(), pins[1].Ref())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if k.Memory().GCCount == before {
+		t.Fatal("boundary collection did not run")
+	}
+
+	// Pin across the second Apply: its boundary collection relocates
+	// unpinned refs on this every-boundary-GC kernel.
+	rp := k.Pin(k.Apply(OpXor, pins[0].Ref(), pins[1].Ref()))
+	if rp.Ref() != k.Apply(OpXor, pins[0].Ref(), pins[1].Ref()) {
+		t.Fatal("post-abort Apply not canonical")
+	}
+	checkInvariants(t, k, []node.Ref{rp.Ref()})
+}

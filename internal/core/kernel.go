@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bfbdd/internal/faultinject"
 	"bfbdd/internal/node"
 	"bfbdd/internal/stats"
 	"bfbdd/internal/unique"
@@ -97,6 +98,14 @@ type Options struct {
 	// the paper's distinction between the "Seq" row (no locks) and the
 	// 1-processor parallel run (locks present).
 	Locking bool
+	// MaxNodes, when non-zero, bounds the live node count. Approaching
+	// the limit triggers graceful degradation (forced GC, cache shrink,
+	// evaluation-threshold drop toward depth-first); exceeding it aborts
+	// the build in flight with a typed *BudgetError. See budget.go.
+	MaxNodes uint64
+	// MaxBytes, when non-zero, bounds the kernel's approximate total
+	// memory footprint the same way.
+	MaxBytes uint64
 }
 
 // withDefaults fills in zero-valued options.
@@ -170,6 +179,16 @@ type Kernel struct {
 	// closed is set by Close; subsequent kernel use panics deterministically.
 	closed atomic.Bool
 
+	// effThreshold is the evaluation threshold currently in effect: the
+	// configured EvalThreshold normally, lowered under memory pressure
+	// (the paper's partial-BF memory knob, §3.1). Read by every expand.
+	effThreshold atomic.Int64
+	// overheadBytes caches the cache+table byte estimate from the last
+	// sampleMemory, so the mid-build budget poll avoids recomputing it.
+	overheadBytes atomic.Uint64
+	// budget is the resource-governance state (see budget.go).
+	budget budgetState
+
 	mem stats.Memory
 }
 
@@ -189,6 +208,8 @@ func NewKernel(opts Options) *Kernel {
 	for i := range k.workers {
 		k.workers[i] = newWorker(k, i)
 	}
+	k.effThreshold.Store(int64(opts.EvalThreshold))
+	k.budget.init(opts)
 	return k
 }
 
@@ -252,6 +273,14 @@ func (k *Kernel) MkNode(level int, low, high node.Ref) node.Ref {
 	}
 	if !low.Valid() || !high.Valid() {
 		panic("core: MkNode with invalid child ref")
+	}
+	if faultinject.Enabled {
+		// Models an invariant violation detected inside the kernel: the
+		// typed *InternalError is what real "can't happen" checks raise,
+		// so tests can drive the containment path deterministically.
+		if err := faultinject.Check(faultinject.KernelInvariant); err != nil {
+			panic(internalf("MkNode", "injected invariant violation: %v", err))
+		}
 	}
 	return k.mkNode(0, level, low, high)
 }
@@ -357,6 +386,7 @@ func (k *Kernel) sampleMemory() {
 	for i := range k.tables {
 		tableB += (k.tables[i].Count() / 2) * 8
 	}
+	k.overheadBytes.Store(cacheB + tableB)
 	k.mem.Sample(k.store.Bytes(), opB, cacheB, tableB)
 }
 
@@ -379,6 +409,11 @@ func (k *Kernel) maybeGC() {
 
 // Apply computes f op g with the configured engine, running garbage
 // collection at operation boundaries when thresholds are exceeded.
+//
+// With a budget configured (Options.MaxNodes/MaxBytes), a build that
+// exceeds it after graceful degradation panics a typed *BudgetError;
+// ApplyCtx returns it as an error instead. The kernel stays consistent
+// and reusable either way.
 func (k *Kernel) Apply(op Op, f, g node.Ref) node.Ref {
 	if op >= numBinaryOps {
 		panic("core: Apply with non-binary op " + op.String())
@@ -394,7 +429,13 @@ func (k *Kernel) Apply(op Op, f, g node.Ref) node.Ref {
 		k.Unpin(pf)
 		k.Unpin(pg)
 	}()
-	k.maybeGC()
+	// A previous abort on an uninterruptible build (e.g. a mid-build
+	// budget trip) leaves its error latched in abortErr; only armInterrupt
+	// clears it otherwise. This build must start clean or the first poll
+	// would re-abort it with the stale error.
+	k.abortErr.Store(nil)
+	defer k.convertAbort()
+	k.budgetGate()
 	f, g = pf.ref, pg.ref
 	var r node.Ref
 	switch k.opts.Engine {

@@ -1,12 +1,13 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bfbdd/internal/cache"
+	"bfbdd/internal/faultinject"
 	"bfbdd/internal/node"
 	"bfbdd/internal/stats"
 )
@@ -55,6 +56,11 @@ type worker struct {
 	ctxMu sync.Mutex
 	ctxs  []*evalContext // registered stealable contexts, oldest first
 
+	// opAllocBytes mirrors the operator-arena footprint of the build in
+	// flight for the cheap mid-build budget poll; exact accounting stays
+	// in opBytes. Atomic because peers read it from checkBudget.
+	opAllocBytes atomic.Uint64
+
 	st  stats.Worker
 	rng uint64
 }
@@ -85,6 +91,7 @@ func (w *worker) resetOps() {
 	for i := range w.ops {
 		w.ops[i].reset()
 	}
+	w.opAllocBytes.Store(0)
 }
 
 // opAt resolves an operator-node handle, which may belong to any worker.
@@ -136,7 +143,13 @@ func (w *worker) preprocess(op Op, f, g node.Ref) cache.Tagged {
 			return v
 		}
 	}
+	if faultinject.Enabled {
+		if err := faultinject.Check(faultinject.OpAlloc); err != nil {
+			panic(err)
+		}
+	}
 	idx := w.ops[lvl].alloc(op, f, g)
+	w.opAllocBytes.Add(opNodeBytes)
 	h := makeOpRef(w.id, lvl, idx)
 	w.enqueue(lvl, h)
 	w.cache.Insert(lvl, uint8(op), f, g, h.tagged())
@@ -167,7 +180,11 @@ func (w *worker) shareRequested() bool {
 // allowPush=false (hybrid engine) reports overflow instead of pushing.
 func (w *worker) expand(allowPush bool) (pushed *ownerCtx, overflow bool) {
 	k := w.k
-	threshold := k.opts.EvalThreshold
+	// The effective threshold can drop mid-build under memory pressure
+	// (budget degradation); re-read it at the poll cadence so a running
+	// expansion adopts the lower value promptly without an atomic load on
+	// every Shannon step.
+	threshold := int(k.effThreshold.Load())
 	for lvl := 0; lvl < k.opts.Levels; lvl++ {
 		q := w.pending[lvl]
 		for i := 0; i < len(q); i++ {
@@ -182,6 +199,9 @@ func (w *worker) expand(allowPush bool) (pushed *ownerCtx, overflow bool) {
 			w.st.Ops++
 			w.nOps++
 			w.pollCancel()
+			if w.cancelCounter == cancelPollInterval {
+				threshold = int(k.effThreshold.Load())
+			}
 			if w.nOps >= threshold || (w.shareRequested() && w.pendingTotal > k.opts.GroupSize) {
 				w.nOps = 0
 				if !allowPush {
@@ -376,7 +396,7 @@ func (w *worker) reduceAll(rq [][]opRef) {
 			if len(d) == len(q) && len(k.workers) == 1 {
 				// With a single worker there is no thief to wait for:
 				// an unresolvable branch is an engine bug, not a stall.
-				panic("core: sequential reduction made no progress")
+				panic(internalf("reduceAll", "sequential reduction made no progress at level %d", lvl))
 			}
 			if len(d) < len(q) {
 				emptyRounds = 0
@@ -406,17 +426,33 @@ func (w *worker) reduceAll(rq [][]opRef) {
 			}
 		}
 		rq[lvl] = rq[lvl][:0]
+		// Reduction is where nodes are actually allocated, and a build
+		// whose expansion phase has finished never reaches the expansion
+		// poll again — without a poll here the final reduction could
+		// overrun the budget by its entire allocation. The level lock is
+		// released between passes, so this is a safe unwind point.
+		w.checkCancelNow()
+		k.checkBudget()
 	}
 	w.st.AddPhase(stats.PhaseReduction, time.Since(t0))
 }
 
 // reducePass reduces every ready operator node in q, returning the ones
-// whose branch results are still being produced elsewhere.
+// whose branch results are still being produced elsewhere. The
+// unique-table unlock is deferred so a panic out of FindOrAdd (injected
+// allocation failure, invariant violation) unwinds without leaking the
+// level's lock — peers quiescing from the same aborted build still need
+// to acquire it.
 func (w *worker) reducePass(lvl int, q []opRef) (deferred []opRef) {
 	k := w.k
 	t := &k.tables[lvl]
 	locking := k.opts.Locking
 	locked := false
+	defer func() {
+		if locked {
+			t.Unlock()
+		}
+	}()
 	for _, h := range q {
 		o := w.opAt(h)
 		r0, ok0 := w.resolve(o.b0)
@@ -441,9 +477,6 @@ func (w *worker) reducePass(lvl int, q []opRef) (deferred []opRef) {
 		}
 		o.setResult(res)
 		w.st.ReducedOps++
-	}
-	if locked {
-		t.Unlock()
 	}
 	return deferred
 }
@@ -540,7 +573,7 @@ func (w *worker) pbfApply(op Op, f, g node.Ref) node.Ref {
 	w.evalCycle()
 	o := w.opAt(opRef(root))
 	if o.state.Load() != opDone {
-		panic("core: pbf root not reduced")
+		panic(internalf("pbfApply", "root not reduced"))
 	}
 	res := o.resultRef()
 	w.k.endTopLevel()
@@ -627,7 +660,7 @@ func (k *Kernel) parApply(op Op, f, g node.Ref) node.Ref {
 	}
 	o := w0.opAt(opRef(root))
 	if o.state.Load() != opDone {
-		panic("core: parallel root not reduced")
+		panic(internalf("parApply", "root not reduced"))
 	}
 	res := o.resultRef()
 	k.endTopLevel()
@@ -710,7 +743,7 @@ func (w *worker) hybridApply(op Op, f, g node.Ref) node.Ref {
 	w.reduceAll(w.curReduce)
 	o := w.opAt(opRef(root))
 	if o.state.Load() != opDone {
-		panic("core: hybrid root not reduced")
+		panic(internalf("hybridApply", "root not reduced"))
 	}
 	res := o.resultRef()
 	w.k.endTopLevel()
@@ -720,6 +753,6 @@ func (w *worker) hybridApply(op Op, f, g node.Ref) node.Ref {
 // checkQuiescent panics if the worker has queued work (debug aid).
 func (w *worker) checkQuiescent() {
 	if w.pendingTotal != 0 {
-		panic(fmt.Sprintf("core: worker %d has %d pending ops at quiescence", w.id, w.pendingTotal))
+		panic(internalf("checkQuiescent", "worker %d has %d pending ops at quiescence", w.id, w.pendingTotal))
 	}
 }

@@ -1,0 +1,14 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether fault injection is compiled in. It is a
+// constant so `if faultinject.Enabled { ... }` guards cost nothing in
+// production builds.
+const Enabled = false
+
+// Check never fires in production builds.
+func Check(Point) error { return nil }
+
+// Stall never delays in production builds.
+func Stall(Point) {}

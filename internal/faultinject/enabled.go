@@ -1,0 +1,147 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"sync"
+	"time"
+)
+
+// Enabled reports whether fault injection is compiled in.
+const Enabled = true
+
+// Predicate decides, given the 1-based call count of a point, whether
+// the armed fault fires on this call. A nil predicate fires on every
+// call. Predicates must be deterministic for reproducible tests.
+type Predicate func(call uint64) bool
+
+type site struct {
+	armed bool
+	pred  Predicate
+	delay time.Duration // for Stall points
+	calls uint64
+	fired uint64
+}
+
+var (
+	mu    sync.Mutex
+	sites [NumPoints]site
+)
+
+// Arm makes the error point p fail (Check returns a *Error) on every
+// call for which pred returns true; nil means every call. Arming
+// replaces any previous configuration but keeps the call counter.
+func Arm(p Point, pred Predicate) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[p].armed = true
+	sites[p].pred = pred
+	sites[p].delay = 0
+}
+
+// ArmStall makes the stall point p sleep for d on every call for which
+// pred returns true; nil means every call.
+func ArmStall(p Point, d time.Duration, pred Predicate) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[p].armed = true
+	sites[p].pred = pred
+	sites[p].delay = d
+}
+
+// Disarm deactivates point p, keeping its call counter.
+func Disarm(p Point) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[p].armed = false
+	sites[p].pred = nil
+	sites[p].delay = 0
+}
+
+// Reset disarms every point and zeroes all counters. Tests should call
+// it (deferred) before arming anything, since the registry is global.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = [NumPoints]site{}
+}
+
+// Calls returns how many times point p has been reached.
+func Calls(p Point) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return sites[p].calls
+}
+
+// Fired returns how many times point p has injected its fault.
+func Fired(p Point) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return sites[p].fired
+}
+
+// Check counts a visit to error point p and returns a *Error if the
+// point is armed and its predicate selects this call.
+func Check(p Point) error {
+	mu.Lock()
+	defer mu.Unlock()
+	s := &sites[p]
+	s.calls++
+	if !s.armed || (s.pred != nil && !s.pred(s.calls)) {
+		return nil
+	}
+	s.fired++
+	return &Error{Point: p, Call: s.calls}
+}
+
+// Stall counts a visit to stall point p and sleeps for the armed delay
+// if the predicate selects this call. Stall points never fail.
+func Stall(p Point) {
+	mu.Lock()
+	s := &sites[p]
+	s.calls++
+	var d time.Duration
+	if s.armed && (s.pred == nil || s.pred(s.calls)) {
+		d = s.delay
+		s.fired++
+	}
+	mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// FailNth fires exactly on the listed 1-based call numbers.
+func FailNth(ns ...uint64) Predicate {
+	set := make(map[uint64]bool, len(ns))
+	for _, n := range ns {
+		set[n] = true
+	}
+	return func(call uint64) bool { return set[call] }
+}
+
+// FailFirst fires on the first n calls and never again.
+func FailFirst(n uint64) Predicate {
+	return func(call uint64) bool { return call <= n }
+}
+
+// FailAfter fires on every call strictly after the first n.
+func FailAfter(n uint64) Predicate {
+	return func(call uint64) bool { return call > n }
+}
+
+// FailRate fires pseudo-randomly on roughly num-in-den calls, using a
+// deterministic splitmix64 stream keyed by seed and the call number, so
+// a given (seed, call) pair always decides the same way.
+func FailRate(seed, num, den uint64) Predicate {
+	return func(call uint64) bool {
+		return splitmix64(seed+call)%den < num
+	}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

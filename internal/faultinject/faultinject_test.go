@@ -1,0 +1,141 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCheckDisarmedIsClean(t *testing.T) {
+	Reset()
+	defer Reset()
+	for i := 0; i < 5; i++ {
+		if err := Check(ArenaAlloc); err != nil {
+			t.Fatalf("disarmed point fired: %v", err)
+		}
+	}
+	if got := Calls(ArenaAlloc); got != 5 {
+		t.Fatalf("Calls = %d, want 5", got)
+	}
+	if got := Fired(ArenaAlloc); got != 0 {
+		t.Fatalf("Fired = %d, want 0", got)
+	}
+}
+
+func TestArmNilPredicateFiresEveryCall(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(UniqueAdd, nil)
+	for i := 1; i <= 3; i++ {
+		err := Check(UniqueAdd)
+		if err == nil {
+			t.Fatalf("armed point did not fire on call %d", i)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("err = %v, want ErrInjected", err)
+		}
+		var fe *Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("err = %T, want *Error", err)
+		}
+		if fe.Point != UniqueAdd || fe.Call != uint64(i) {
+			t.Fatalf("fired %v call %d, want %v call %d", fe.Point, fe.Call, UniqueAdd, i)
+		}
+	}
+	Disarm(UniqueAdd)
+	if err := Check(UniqueAdd); err != nil {
+		t.Fatalf("disarmed point still fires: %v", err)
+	}
+	// Disarm keeps the call counter; Reset zeroes it.
+	if got := Calls(UniqueAdd); got != 4 {
+		t.Fatalf("Calls = %d, want 4 after Disarm", got)
+	}
+	Reset()
+	if got := Calls(UniqueAdd); got != 0 {
+		t.Fatalf("Calls = %d, want 0 after Reset", got)
+	}
+}
+
+func TestFailNth(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(CheckpointWrite, FailNth(2, 4))
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		if Check(CheckpointWrite) != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Fatalf("FailNth(2,4) fired on %v", fired)
+	}
+}
+
+func TestFailFirstAndFailAfter(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(CheckpointSync, FailFirst(2))
+	for i := 1; i <= 4; i++ {
+		got := Check(CheckpointSync) != nil
+		if want := i <= 2; got != want {
+			t.Fatalf("FailFirst(2): call %d fired=%v, want %v", i, got, want)
+		}
+	}
+	Reset()
+	Arm(CheckpointSync, FailAfter(2))
+	for i := 1; i <= 4; i++ {
+		got := Check(CheckpointSync) != nil
+		if want := i > 2; got != want {
+			t.Fatalf("FailAfter(2): call %d fired=%v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFailRateDeterministic(t *testing.T) {
+	// The same (seed, call) stream must decide identically across runs,
+	// and the hit rate must be in the right ballpark.
+	run := func() []bool {
+		p := FailRate(1234, 1, 4)
+		out := make([]bool, 1000)
+		for i := range out {
+			out[i] = p(uint64(i + 1))
+		}
+		return out
+	}
+	a, b := run(), run()
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("FailRate not deterministic at call %d", i+1)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits < 150 || hits > 350 {
+		t.Fatalf("FailRate(1/4) hit %d of 1000 calls, want roughly 250", hits)
+	}
+}
+
+func TestStallDelaysWithoutFailing(t *testing.T) {
+	Reset()
+	defer Reset()
+	ArmStall(GCStall, 10*time.Millisecond, FailNth(2))
+	t0 := time.Now()
+	Stall(GCStall) // call 1: predicate rejects, no delay
+	fast := time.Since(t0)
+	t0 = time.Now()
+	Stall(GCStall) // call 2: delays
+	slow := time.Since(t0)
+	if slow < 10*time.Millisecond {
+		t.Fatalf("armed stall returned in %v, want >= 10ms", slow)
+	}
+	if fast > 5*time.Millisecond {
+		t.Fatalf("unselected stall took %v, want instant", fast)
+	}
+	if got := Fired(GCStall); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}

@@ -1,16 +1,33 @@
 package node
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Store owns all BDD node storage for one manager: a matrix of arenas
 // indexed by (worker, level). Worker 0 exists even in sequential mode; the
 // parallel engine gives each of its P workers its own arena row so that
 // node creation during the reduction phase allocates from worker-local
 // memory (the paper's per-process BDD-node managers).
+//
+// The store also keeps a per-worker approximate live-node counter so that
+// budget enforcement can poll total usage in O(workers) instead of walking
+// the full worker×level arena matrix. Allocation sites bump the counter of
+// the allocating worker (own-cacheline slot, no contention); SyncLive
+// recomputes the exact figure from the arenas at collection boundaries.
 type Store struct {
 	workers int
 	levels  int
 	arenas  [][]Arena // [worker][level]
+	live    []liveCounter
+}
+
+// liveCounter is padded to its own cache line so per-worker allocation
+// bursts do not false-share.
+type liveCounter struct {
+	n atomic.Uint64
+	_ [7]uint64
 }
 
 // NewStore creates a store for the given worker count and variable count.
@@ -26,7 +43,38 @@ func NewStore(workers, levels int) *Store {
 	for w := range s.arenas {
 		s.arenas[w] = make([]Arena, levels)
 	}
+	s.live = make([]liveCounter, workers)
 	return s
+}
+
+// NoteAlloc records one node allocation by worker in the approximate
+// live counter. Call sites that allocate through an Arena directly (the
+// unique tables, NewNode) must pair every Alloc with a NoteAlloc.
+func (s *Store) NoteAlloc(worker int) { s.live[worker].n.Add(1) }
+
+// ApproxLive returns the approximate live node count maintained by
+// NoteAlloc/SyncLive. It can drift above the true figure between
+// collections (freed nodes are only reconciled by SyncLive), which is
+// the safe direction for budget enforcement.
+func (s *Store) ApproxLive() uint64 {
+	var total uint64
+	for w := range s.live {
+		total += s.live[w].n.Load()
+	}
+	return total
+}
+
+// SyncLive recomputes the per-worker live counters exactly from the
+// arenas. Callers must be quiescent with respect to allocation (it runs
+// at GC and top-level-operation boundaries).
+func (s *Store) SyncLive() {
+	for w := range s.arenas {
+		var n uint64
+		for l := range s.arenas[w] {
+			n += s.arenas[w][l].Live()
+		}
+		s.live[w].n.Store(n)
+	}
 }
 
 // Workers returns the number of worker arena rows.
@@ -66,6 +114,7 @@ func (s *Store) High(r Ref, level int) Ref {
 // not consult any unique table; that is the caller's responsibility.
 func (s *Store) NewNode(worker, level int, low, high Ref) Ref {
 	idx := s.arenas[worker][level].Alloc(low, high)
+	s.NoteAlloc(worker)
 	return MakeRef(level, worker, idx)
 }
 

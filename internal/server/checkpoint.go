@@ -7,11 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"time"
+
+	"bfbdd/internal/faultinject"
 )
 
 // Checkpoint file layout, per session, inside Config.CheckpointDir:
@@ -45,9 +48,24 @@ type checkpointer struct {
 	// deleted session back on the next startup.
 	commitMu sync.Mutex
 
+	// failing tracks sessions whose last checkpoint round failed after
+	// exhausting its retries, so the log carries one line at the first
+	// failure and one at recovery instead of a line per interval.
+	failingMu sync.Mutex
+	failing   map[string]struct{}
+
 	stop chan struct{}
 	done chan struct{}
 }
+
+// Retry policy for transient checkpoint failures: capped exponential
+// backoff with jitter, bounded so one wedged disk cannot stall the
+// checkpoint loop for more than a few seconds per session per round.
+const (
+	checkpointRetryBase = 50 * time.Millisecond
+	checkpointRetryCap  = 2 * time.Second
+	checkpointAttempts  = 5
+)
 
 // errCheckpointSkipped reports that a session was closed between its
 // snapshot and the rename commit point; the checkpoint was correctly
@@ -60,6 +78,7 @@ func newCheckpointer(cfg Config, reg *registry, m *metrics) *checkpointer {
 		interval: cfg.CheckpointInterval,
 		reg:      reg,
 		m:        m,
+		failing:  make(map[string]struct{}),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -97,15 +116,73 @@ func (c *checkpointer) shutdown() {
 // blocks the others.
 func (c *checkpointer) checkpointAll() {
 	for _, s := range c.reg.list() {
-		switch err := c.checkpointSession(s); {
+		if s.isPoisoned() {
+			// A poisoned session's in-memory state is suspect; its last
+			// good checkpoint on disk stays authoritative.
+			continue
+		}
+		switch err := c.checkpointWithRetry(s); {
 		case errors.Is(err, errCheckpointSkipped):
 			// Benign race with delete/expiry; the close path owns cleanup.
 		case err != nil:
 			c.m.checkpointErrors.Add(1)
-			log.Printf("server: checkpoint of session %s failed: %v", s.id, err)
+			c.m.checkpointFailures.Add(1)
+			c.noteFailing(s.id, err)
 		default:
 			c.m.checkpointsWritten.Add(1)
+			c.noteRecovered(s.id)
 		}
+	}
+}
+
+// checkpointWithRetry drives one session's checkpoint through the retry
+// policy: transient failures back off exponentially (with full jitter, so
+// many sessions hitting the same sick disk don't retry in lockstep) up to
+// checkpointAttempts; shutdown aborts the backoff wait immediately. The
+// staged-temp-then-rename protocol makes every attempt independent — a
+// failed attempt leaves only a temp file (cleaned by its own defer), never
+// a torn committed checkpoint.
+func (c *checkpointer) checkpointWithRetry(s *session) error {
+	delay := checkpointRetryBase
+	for attempt := 1; ; attempt++ {
+		err := c.checkpointSession(s)
+		if err == nil || errors.Is(err, errCheckpointSkipped) || attempt == checkpointAttempts {
+			return err
+		}
+		c.m.checkpointRetries.Add(1)
+		sleep := delay/2 + rand.N(delay)
+		select {
+		case <-c.stop:
+			return err
+		case <-time.After(sleep):
+		}
+		if delay *= 2; delay > checkpointRetryCap {
+			delay = checkpointRetryCap
+		}
+	}
+}
+
+// noteFailing logs the first failure of a session's checkpoint stream.
+func (c *checkpointer) noteFailing(id string, err error) {
+	c.failingMu.Lock()
+	_, already := c.failing[id]
+	if !already {
+		c.failing[id] = struct{}{}
+	}
+	c.failingMu.Unlock()
+	if !already {
+		log.Printf("server: checkpoint of session %s failing: %v (retrying every interval)", id, err)
+	}
+}
+
+// noteRecovered logs the end of a session's checkpoint failure streak.
+func (c *checkpointer) noteRecovered(id string) {
+	c.failingMu.Lock()
+	_, was := c.failing[id]
+	delete(c.failing, id)
+	c.failingMu.Unlock()
+	if was {
+		log.Printf("server: checkpoint of session %s recovered", id)
 	}
 }
 
@@ -118,6 +195,11 @@ func (c *checkpointer) checkpointAll() {
 // snapshot was being written is discarded (errCheckpointSkipped) instead
 // of renamed into place after the onClose hook already removed its files.
 func (c *checkpointer) checkpointSession(s *session) error {
+	if faultinject.Enabled {
+		if err := faultinject.Check(faultinject.CheckpointCreate); err != nil {
+			return err
+		}
+	}
 	tmp, err := os.CreateTemp(c.dir, "."+s.id+".tmp-*")
 	if err != nil {
 		return err
@@ -138,8 +220,18 @@ func (c *checkpointer) checkpointSession(s *session) error {
 	if err != nil {
 		return err
 	}
+	if faultinject.Enabled {
+		if err := faultinject.Check(faultinject.CheckpointWrite); err != nil {
+			return err
+		}
+	}
 	if err := bw.Flush(); err != nil {
 		return err
+	}
+	if faultinject.Enabled {
+		if err := faultinject.Check(faultinject.CheckpointSync); err != nil {
+			return err
+		}
 	}
 	if err := tmp.Sync(); err != nil {
 		return err
@@ -159,8 +251,21 @@ func (c *checkpointer) checkpointSession(s *session) error {
 	if !c.reg.live(s.id) {
 		return fmt.Errorf("%w: %s", errCheckpointSkipped, s.id)
 	}
+	// Each rename has its own fault point call so crash-consistency tests
+	// can fail the commit between the sidecar and the snapshot: that is
+	// the torn window the rename ordering is designed to survive.
+	if faultinject.Enabled {
+		if err := faultinject.Check(faultinject.CheckpointRename); err != nil {
+			return err
+		}
+	}
 	if err := os.Rename(metaTmp, filepath.Join(c.dir, s.id+metaSuffix)); err != nil {
 		return err
+	}
+	if faultinject.Enabled {
+		if err := faultinject.Check(faultinject.CheckpointRename); err != nil {
+			return err
+		}
 	}
 	if err := os.Rename(tmpName, filepath.Join(c.dir, s.id+snapSuffix)); err != nil {
 		return err

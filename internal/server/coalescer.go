@@ -142,8 +142,17 @@ func (c *coalescer) runBatch(ctx context.Context, calls []*applyCall) {
 	}
 	results, err := c.sess.mgr.ApplyBatchCtx(ctx, ops)
 	if err != nil {
+		c.sess.noteFailure(err)
 		err = fmt.Errorf("batch build aborted: %w", err)
-		for _, call := range live {
+		for i, call := range live {
+			// A partially completed batch (budget abort, injected fault)
+			// still produced some results; their callers get real handles,
+			// only the unfinished operations see the abort.
+			if results != nil && results[i] != nil {
+				b := results[i]
+				call.resp <- applyResult{handle: c.sess.put(b), nodes: b.Size()}
+				continue
+			}
 			call.resp <- applyResult{err: err}
 		}
 		return

@@ -26,6 +26,17 @@ type panicError struct {
 
 func (e *panicError) Error() string { return fmt.Sprint(e.val) }
 
+// Unwrap exposes a panic value that was itself an error: the kernel's
+// typed aborts (budget errors, internal errors, injected faults) travel
+// as panics through the plain, non-Ctx engine calls, and errors.As /
+// errors.Is classification in the handlers must reach them.
+func (e *panicError) Unwrap() error {
+	if err, ok := e.val.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // task is one unit of serialized session work. fn runs on the executor
 // goroutine; ctx is the submitting request's context (deadline included),
 // which fn threads into cancellable kernel operations.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"bfbdd"
+	"bfbdd/internal/faultinject"
 )
 
 // writeJSON writes v as the JSON response body.
@@ -39,7 +40,8 @@ func errStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, errNoSession):
 		return http.StatusNotFound
-	case errors.Is(err, errSessionClosing), errors.Is(err, errSessionExists):
+	case errors.Is(err, errSessionClosing), errors.Is(err, errSessionExists),
+		errors.Is(err, errSessionPoisoned):
 		return http.StatusConflict
 	case errors.Is(err, errTooManySessions), errors.Is(err, errQueueFull):
 		return http.StatusTooManyRequests
@@ -55,10 +57,33 @@ func errStatus(err error) int {
 }
 
 func fail(w http.ResponseWriter, err error) {
-	// A panic captured on the executor goroutine gets the same treatment
-	// the HTTP-layer firewall gives handler-goroutine panics: engine
-	// misuse ("bfbdd:" prefix) is the client's fault, anything else is a
-	// server bug — logged with its stack and answered 500.
+	// Typed engine aborts come first: they arrive either as returned
+	// errors (the Ctx paths) or as panic values captured on the executor
+	// goroutine (the plain calls) — panicError.Unwrap makes both shapes
+	// classify identically here.
+	var be *bfbdd.BudgetError
+	if errors.As(err, &be) {
+		// Budget exhaustion is a client-visible resource limit, not a
+		// server fault: 413 with the full per-variable usage report.
+		writeError(w, http.StatusRequestEntityTooLarge, be.Error())
+		return
+	}
+	var ie *bfbdd.InternalError
+	if errors.As(err, &ie) {
+		// Kernel invariant violation: the session was poisoned by
+		// noteFailure; answer 500 without leaking the internal stack.
+		log.Printf("server: internal engine fault: %v", ie)
+		writeError(w, http.StatusInternalServerError, "internal engine fault")
+		return
+	}
+	if errors.Is(err, faultinject.ErrInjected) {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// A remaining panic captured on the executor goroutine gets the same
+	// treatment the HTTP-layer firewall gives handler-goroutine panics:
+	// engine misuse ("bfbdd:" prefix) is the client's fault, anything
+	// else is a server bug — logged with its stack and answered 500.
 	var pe *panicError
 	if errors.As(err, &pe) {
 		if msg, ok := pe.val.(string); ok && strings.HasPrefix(msg, "bfbdd: ") {
@@ -133,43 +158,90 @@ func (s *Server) routes(mux *http.ServeMux) {
 }
 
 // sessionOf resolves the {sid} path segment and touches the session's
-// idle clock.
+// idle clock. Poisoned sessions are refused with 409 — their engine
+// state cannot be trusted, so no operation (not even a read) runs
+// against them; DELETE and the info/stats routes bypass this gate so a
+// poisoned session can still be inspected and reclaimed.
 func (s *Server) sessionOf(r *http.Request) (*session, error) {
 	sess, err := s.reg.get(r.PathValue("sid"))
 	if err != nil {
 		return nil, err
+	}
+	if sess.isPoisoned() {
+		return nil, fmt.Errorf("%w: %s", errSessionPoisoned, sess.id)
 	}
 	sess.touch()
 	return sess, nil
 }
 
 // run executes fn serialized on the session's executor under the request
-// context and deadline.
+// context and deadline, routing any failure through the session's
+// poison classifier.
 func run(r *http.Request, sess *session, fn func(ctx context.Context) error) error {
-	return sess.exec.submit(r.Context(), fn)
+	err := sess.exec.submit(r.Context(), fn)
+	sess.noteFailure(err)
+	return err
+}
+
+// poolBytes sums the engine memory footprint of every live session from
+// the lock-free stats snapshots (a scrape-safe approximation: snapshots
+// refresh after each executor task).
+func (s *Server) poolBytes() uint64 {
+	var total uint64
+	for _, sess := range s.reg.list() {
+		if st := sess.stats(); st != nil {
+			total += st.MemBytes
+		}
+	}
+	return total
+}
+
+// shed is the global memory-pressure valve for allocating routes: when
+// the pool's live bytes exceed Config.MaxTotalBytes the request is
+// answered 429 with a Retry-After hint instead of being admitted to grow
+// the pool further. Reads, frees, GC, and deletes always pass — they are
+// how a client relieves the pressure.
+func (s *Server) shed(w http.ResponseWriter) bool {
+	if s.cfg.MaxTotalBytes <= 0 {
+		return false
+	}
+	used := s.poolBytes()
+	if used <= uint64(s.cfg.MaxTotalBytes) {
+		return false
+	}
+	s.metrics.rejectedOverBudget.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Sprintf("server over memory budget: %d bytes live, budget %d", used, s.cfg.MaxTotalBytes))
+	return true
 }
 
 type sessionInfo struct {
-	Session string `json:"session"`
-	Vars    int    `json:"vars"`
-	Engine  string `json:"engine"`
-	Workers int    `json:"workers"`
-	Created string `json:"created"`
-	IdleFor string `json:"idle_for"`
+	Session  string `json:"session"`
+	Vars     int    `json:"vars"`
+	Engine   string `json:"engine"`
+	Workers  int    `json:"workers"`
+	Created  string `json:"created"`
+	IdleFor  string `json:"idle_for"`
+	Poisoned bool   `json:"poisoned,omitempty"`
 }
 
 func (s *Server) info(sess *session) sessionInfo {
 	return sessionInfo{
-		Session: sess.id,
-		Vars:    sess.vars,
-		Engine:  sess.engine.String(),
-		Workers: sess.mgr.Kernel().Options().Workers,
-		Created: sess.created.UTC().Format(time.RFC3339Nano),
-		IdleFor: time.Since(sess.idleSince()).Round(time.Millisecond).String(),
+		Session:  sess.id,
+		Vars:     sess.vars,
+		Engine:   sess.engine.String(),
+		Workers:  sess.mgr.Kernel().Options().Workers,
+		Created:  sess.created.UTC().Format(time.RFC3339Nano),
+		IdleFor:  time.Since(sess.idleSince()).Round(time.Millisecond).String(),
+		Poisoned: sess.isPoisoned(),
 	}
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	var req SessionOptions
 	if err := decode(w, r, &req); err != nil {
 		fail(w, err)
@@ -219,6 +291,9 @@ type handleResp struct {
 }
 
 func (s *Server) handleVar(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	sess, err := s.sessionOf(r)
 	if err != nil {
 		fail(w, err)
@@ -255,6 +330,9 @@ func (s *Server) handleVar(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleConst(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	sess, err := s.sessionOf(r)
 	if err != nil {
 		fail(w, err)
@@ -288,6 +366,9 @@ func (s *Server) handleConst(w http.ResponseWriter, r *http.Request) {
 // handleApply is the coalesced binary-apply endpoint: concurrent applies
 // landing within the coalescing window ride one engine batch.
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	sess, err := s.sessionOf(r)
 	if err != nil {
 		fail(w, err)
@@ -319,6 +400,9 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 // engine unit (the client-side variant of what the coalescer does
 // implicitly).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	sess, err := s.sessionOf(r)
 	if err != nil {
 		fail(w, err)
@@ -350,6 +434,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Handles []uint64 `json:"handles"`
 		Nodes   []int    `json:"nodes"`
 	}
+	// completed reports, for a batch that aborted partway (budget
+	// exhaustion, injected fault), which operations finished first: their
+	// results are registered as real handles so the client keeps the work
+	// already paid for.
+	type completedOp struct {
+		Index  int    `json:"index"`
+		Handle uint64 `json:"handle"`
+		Nodes  int    `json:"nodes"`
+	}
+	var completed []completedOp
 	err = run(r, sess, func(ctx context.Context) error {
 		ops := make([]bfbdd.BatchOp, len(req.Ops))
 		for i, op := range req.Ops {
@@ -365,6 +459,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		results, err := sess.mgr.ApplyBatchCtx(ctx, ops)
 		if err != nil {
+			for i, b := range results {
+				if b != nil {
+					completed = append(completed, completedOp{Index: i, Handle: sess.put(b), Nodes: b.Size()})
+				}
+			}
 			return err
 		}
 		resp.Handles = make([]uint64, len(results))
@@ -376,6 +475,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
+		if len(completed) > 0 {
+			code := http.StatusInternalServerError
+			var be *bfbdd.BudgetError
+			if errors.As(err, &be) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, code, map[string]any{
+				"error":     err.Error(),
+				"completed": completed,
+			})
+			return
+		}
 		fail(w, err)
 		return
 	}
@@ -383,6 +494,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleITE(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	sess, err := s.sessionOf(r)
 	if err != nil {
 		fail(w, err)
@@ -423,6 +537,9 @@ func (s *Server) handleITE(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNot(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	sess, err := s.sessionOf(r)
 	if err != nil {
 		fail(w, err)
@@ -453,6 +570,9 @@ func (s *Server) handleNot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	sess, err := s.sessionOf(r)
 	if err != nil {
 		fail(w, err)
@@ -494,6 +614,9 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRestrict(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	sess, err := s.sessionOf(r)
 	if err != nil {
 		fail(w, err)
@@ -526,6 +649,9 @@ func (s *Server) handleRestrict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	sess, err := s.sessionOf(r)
 	if err != nil {
 		fail(w, err)
@@ -698,6 +824,14 @@ func statsJSON(st *sessionStats) map[string]any {
 		"live_nodes":        st.NumNodes,
 		"pins":              st.Pins,
 		"handles":           st.Handles,
+		"mem_bytes":         st.MemBytes,
+		"eval_threshold":    st.EffEvalThreshold,
+		"budget": map[string]uint64{
+			"forced_gcs":      st.BudgetForcedGCs,
+			"threshold_drops": st.BudgetThresholdDrops,
+			"cache_shrinks":   st.BudgetCacheShrinks,
+			"aborts":          st.BudgetAborts,
+		},
 	}
 }
 
@@ -772,6 +906,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // workers, gc_policy), and ?session= asks for a specific session id —
 // refused with 409 if that id is live or still being torn down.
 func (s *Server) handleRestoreSession(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
 	q := r.URL.Query()
 	opts := SessionOptions{
 		Engine:   q.Get("engine"),

@@ -55,12 +55,16 @@ type metrics struct {
 	sessionsCreated    atomic.Uint64
 	sessionsExpired    atomic.Uint64
 	sessionsRecovered  atomic.Uint64
+	sessionsPoisoned   atomic.Uint64
 	checkpointsWritten atomic.Uint64
 	checkpointErrors   atomic.Uint64
+	checkpointFailures atomic.Uint64
+	checkpointRetries  atomic.Uint64
 	coalescedBatches   atomic.Uint64
 	coalescedOps       atomic.Uint64
 	inflight           atomic.Int64
 	rejectedInflight   atomic.Uint64
+	rejectedOverBudget atomic.Uint64
 
 	mu     sync.Mutex
 	routes map[string]*routeStats
@@ -124,16 +128,28 @@ func (s *Server) metricsHandler() http.Handler {
 		}
 
 		m := s.metrics
+		var poisonedNow int64
+		for _, sess := range s.reg.list() {
+			if sess.isPoisoned() {
+				poisonedNow++
+			}
+		}
 		gauge("bfbdd_sessions_open", "Currently open sessions.", int64(s.reg.count()))
+		gauge("bfbdd_sessions_poisoned", "Currently open sessions refusing work after an internal engine fault.", poisonedNow)
+		gauge("bfbdd_pool_live_bytes", "Engine memory footprint summed over all live sessions.", int64(s.poolBytes()))
 		counter("bfbdd_sessions_created_total", "Sessions created since start.", m.sessionsCreated.Load())
 		counter("bfbdd_sessions_expired_total", "Sessions closed by idle expiry.", m.sessionsExpired.Load())
 		counter("bfbdd_sessions_recovered_total", "Sessions rebuilt from checkpoints at startup.", m.sessionsRecovered.Load())
+		counter("bfbdd_sessions_poisoned_total", "Sessions poisoned by internal engine faults since start.", m.sessionsPoisoned.Load())
 		counter("bfbdd_checkpoints_written_total", "Session checkpoints committed to disk.", m.checkpointsWritten.Load())
 		counter("bfbdd_checkpoint_errors_total", "Failed checkpoint writes or recoveries.", m.checkpointErrors.Load())
+		counter("bfbdd_checkpoint_failures_total", "Checkpoint attempts that failed after exhausting retries.", m.checkpointFailures.Load())
+		counter("bfbdd_checkpoint_retries_total", "Checkpoint attempts retried after a transient failure.", m.checkpointRetries.Load())
 		counter("bfbdd_coalesced_batches_total", "Apply batches flushed by the request coalescer.", m.coalescedBatches.Load())
 		counter("bfbdd_coalesced_ops_total", "Apply operations carried by coalesced batches.", m.coalescedOps.Load())
 		gauge("bfbdd_http_inflight_requests", "Requests currently being served.", m.inflight.Load())
 		counter("bfbdd_http_rejected_total", "Requests rejected by the in-flight admission limit.", m.rejectedInflight.Load())
+		counter("bfbdd_http_rejected_over_budget_total", "Requests shed because the pool exceeded the global memory budget.", m.rejectedOverBudget.Load())
 
 		s.writeRouteMetrics(bw)
 		s.writeSessionMetrics(bw)
@@ -226,6 +242,18 @@ func (s *Server) writeSessionMetrics(bw *bufio.Writer) {
 			func(st *sessionStats) string { return fmt.Sprint(st.GCCount) }},
 		{"bfbdd_session_peak_bytes", "High-water explicit memory footprint.", "gauge",
 			func(st *sessionStats) string { return fmt.Sprint(st.PeakBytes) }},
+		{"bfbdd_session_mem_bytes", "Current explicit memory footprint.", "gauge",
+			func(st *sessionStats) string { return fmt.Sprint(st.MemBytes) }},
+		{"bfbdd_session_eval_threshold", "Effective partial-BF evaluation threshold (drops under memory pressure).", "gauge",
+			func(st *sessionStats) string { return fmt.Sprint(st.EffEvalThreshold) }},
+		{"bfbdd_session_budget_forced_gcs_total", "Collections forced by the budget's degradation ladder.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.BudgetForcedGCs) }},
+		{"bfbdd_session_budget_threshold_drops_total", "Eval-threshold reductions forced by the budget.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.BudgetThresholdDrops) }},
+		{"bfbdd_session_budget_cache_shrinks_total", "Compute-cache flushes forced by the budget.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.BudgetCacheShrinks) }},
+		{"bfbdd_session_budget_aborts_total", "Builds aborted with a budget error.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.BudgetAborts) }},
 		{"bfbdd_session_live_nodes", "Current live BDD node count.", "gauge",
 			func(st *sessionStats) string { return fmt.Sprint(st.NumNodes) }},
 		{"bfbdd_session_pins", "Registered external roots (pins).", "gauge",

@@ -56,6 +56,20 @@ type Config struct {
 	MaxWorkers int
 	// MaxSnapshotBytes bounds the request body of a session restore.
 	MaxSnapshotBytes int64
+	// MaxTotalBytes, when positive, is the server-wide memory budget:
+	// allocating requests (session creation, construction operations) are
+	// shed with 429 + Retry-After while the pool's live engine bytes
+	// exceed it. Frees, GC, queries, and deletes always pass.
+	MaxTotalBytes int64
+	// SessionMaxNodes / SessionMaxBytes, when positive, cap every
+	// session's engine budget (bfbdd.WithMaxNodes / WithMaxBytes): a
+	// client-requested budget is clamped to them, and a session created
+	// with no budget of its own still gets the cap. A build that would
+	// exceed the budget degrades (forced GC, cache flush, lower
+	// evaluation threshold) and then aborts with 413 instead of taking
+	// the process down.
+	SessionMaxNodes uint64
+	SessionMaxBytes uint64
 	// CheckpointDir, when set, enables session persistence: every live
 	// session is periodically serialized there (atomic rename, per-session
 	// snapshot + meta sidecar), deleted/expired sessions have their files

@@ -8,12 +8,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bfbdd"
+	"bfbdd/internal/faultinject"
 	"bfbdd/internal/snapshot"
 )
 
@@ -25,6 +28,11 @@ var (
 	errTooManySessions = errors.New("session limit reached")
 	errServerClosed    = errors.New("server is shutting down")
 	errNoHandle        = errors.New("no such handle")
+	// errSessionPoisoned marks a session whose engine hit an internal
+	// fault: its in-memory state can no longer be trusted, so every
+	// subsequent operation is refused until the client deletes it (or
+	// restores a fresh session from the last good checkpoint).
+	errSessionPoisoned = errors.New("session poisoned by internal engine fault")
 )
 
 // SessionOptions is the wire shape of a session-creation request: the
@@ -40,6 +48,14 @@ type SessionOptions struct {
 	GCGrowth      float64 `json:"gc_growth,omitempty"`
 	GCMinNodes    uint64  `json:"gc_min_nodes,omitempty"`
 	NoStealing    bool    `json:"no_stealing,omitempty"`
+	// MaxNodes / MaxBytes are the session's engine budget (see
+	// bfbdd.WithMaxNodes / WithMaxBytes): a build that would exceed them
+	// degrades and then aborts with a budget error instead of taking the
+	// process down. Both are clamped to the server-wide per-session caps
+	// (Config.SessionMaxNodes / SessionMaxBytes), which also apply when
+	// the request asks for no budget at all.
+	MaxNodes uint64 `json:"max_nodes,omitempty"`
+	MaxBytes uint64 `json:"max_bytes,omitempty"`
 }
 
 func parseEngine(name string) (bfbdd.Engine, error) {
@@ -123,7 +139,31 @@ func (o SessionOptions) engineOptions(cfg Config) (engine bfbdd.Engine, opts []b
 	if o.NoStealing {
 		opts = append(opts, bfbdd.WithStealing(false))
 	}
+	// Budgets: the effective limit is the tighter of what the client asked
+	// for and the server-wide per-session cap. A cap with no client budget
+	// still applies — sessions cannot opt out of the server's ceiling.
+	maxNodes := clampBudget(o.MaxNodes, cfg.SessionMaxNodes)
+	maxBytes := clampBudget(o.MaxBytes, cfg.SessionMaxBytes)
+	if maxNodes != 0 {
+		opts = append(opts, bfbdd.WithMaxNodes(maxNodes))
+	}
+	if maxBytes != 0 {
+		opts = append(opts, bfbdd.WithMaxBytes(maxBytes))
+	}
 	return engine, opts, nil
+}
+
+// clampBudget combines a requested budget with a server cap; zero means
+// unlimited on both sides.
+func clampBudget(req, cap uint64) uint64 {
+	switch {
+	case cap == 0:
+		return req
+	case req == 0 || req > cap:
+		return cap
+	default:
+		return req
+	}
 }
 
 // sessionStats is the snapshot the executor refreshes after every task;
@@ -152,6 +192,16 @@ type session struct {
 	mgr  *bfbdd.Manager
 	exec *executor
 	coal *coalescer
+	m    *metrics
+
+	// poisoned latches when the engine reports an internal fault (an
+	// invariant violation or an unclassifiable panic). A poisoned session
+	// keeps serving 409s so the client sees a stable, diagnosable state,
+	// is skipped by the checkpointer (its last good checkpoint must stay
+	// authoritative), and is only ever reclaimed by an explicit delete or
+	// idle expiry. Budget aborts and cancellations do NOT poison: the
+	// kernel unwinds those to a consistent, reusable manager.
+	poisoned atomic.Bool
 
 	// lastUsed is the unix-nano time of the last request (idle expiry).
 	lastUsed atomic.Int64
@@ -194,6 +244,52 @@ func (s *session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
 
 func (s *session) idleSince() time.Time {
 	return time.Unix(0, s.lastUsed.Load())
+}
+
+// poison latches the session into the poisoned state (idempotent).
+func (s *session) poison(cause error) {
+	if s.poisoned.CompareAndSwap(false, true) {
+		if s.m != nil {
+			s.m.sessionsPoisoned.Add(1)
+		}
+		log.Printf("server: session %s poisoned: %v", s.id, cause)
+	}
+}
+
+func (s *session) isPoisoned() bool { return s.poisoned.Load() }
+
+// noteFailure classifies a failed task's error and poisons the session
+// when the failure implies the engine's in-memory state can no longer be
+// trusted:
+//
+//   - a *bfbdd.InternalError (kernel invariant violation) poisons;
+//   - a panic on the executor goroutine poisons, unless it is engine
+//     misuse (a "bfbdd: " string — the caller's fault, state intact), a
+//     budget abort, or an injected fault (both unwind to a consistent
+//     manager by design);
+//   - every ordinary service or engine error (bad handle, cancellation,
+//     budget exhaustion, queue full, ...) leaves the session healthy.
+func (s *session) noteFailure(err error) {
+	if err == nil {
+		return
+	}
+	var ie *bfbdd.InternalError
+	if errors.As(err, &ie) {
+		s.poison(err)
+		return
+	}
+	var pe *panicError
+	if !errors.As(err, &pe) {
+		return
+	}
+	if msg, ok := pe.val.(string); ok && strings.HasPrefix(msg, "bfbdd: ") {
+		return
+	}
+	var be *bfbdd.BudgetError
+	if errors.As(err, &be) || errors.Is(err, faultinject.ErrInjected) {
+		return
+	}
+	s.poison(err)
 }
 
 // refreshStats runs on the executor goroutine after every task.
@@ -319,6 +415,7 @@ func (r *registry) create(o SessionOptions) (*session, error) {
 		opts:    o,
 		created: time.Now(),
 		mgr:     bfbdd.New(o.Vars, opts...),
+		m:       r.m,
 		handles: make(map[uint64]*bfbdd.BDD),
 	}
 	s.exec = newExecutor(r.cfg.MaxQueuedPerSession, s.refreshStats)
@@ -425,6 +522,7 @@ func (r *registry) restore(id string, o SessionOptions, src io.Reader) (*session
 		opts:    o,
 		created: time.Now(),
 		mgr:     mgr,
+		m:       r.m,
 		handles: make(map[uint64]*bfbdd.BDD, len(roots)),
 	}
 	for _, rt := range roots {

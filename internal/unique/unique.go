@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bfbdd/internal/faultinject"
 	"bfbdd/internal/node"
 )
 
@@ -91,7 +92,17 @@ func (t *Table) Misses() uint64 { return t.misses }
 // FindOrAdd returns the canonical node for (level, low, high), creating it
 // in worker w's arena if absent. The caller must hold the lock and must
 // have already applied the reduction rule (low != high).
+//
+// Under -tags=faultinject it panics a *faultinject.Error when the
+// unique-add or arena-alloc point is armed, modeling insert/allocation
+// failure; callers (the kernel) unwind it through their abort machinery
+// and must therefore release the table lock via defer.
 func (t *Table) FindOrAdd(st *node.Store, w, level int, low, high node.Ref) node.Ref {
+	if faultinject.Enabled {
+		if err := faultinject.Check(faultinject.UniqueAdd); err != nil {
+			panic(err)
+		}
+	}
 	if t.buckets == nil {
 		t.buckets = make([]node.Ref, initialBuckets)
 		for i := range t.buckets {
@@ -108,7 +119,13 @@ func (t *Table) FindOrAdd(st *node.Store, w, level int, low, high node.Ref) node
 		r = nd.Next
 	}
 	t.misses++
+	if faultinject.Enabled {
+		if err := faultinject.Check(faultinject.ArenaAlloc); err != nil {
+			panic(err)
+		}
+	}
 	idx := st.Arena(w, level).Alloc(low, high)
+	st.NoteAlloc(w)
 	r := node.MakeRef(level, w, idx)
 	nd := st.Node(r)
 	nd.Next = t.buckets[b]

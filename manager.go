@@ -114,6 +114,41 @@ func WithStealing(enabled bool) Option {
 	return func(o *core.Options) { o.Stealing = enabled }
 }
 
+// WithMaxNodes bounds the manager's live node count (0 = unlimited).
+// Approaching the budget triggers graceful degradation — a forced early
+// collection, compute-cache shrinking, and a lowered partial-BF
+// evaluation threshold (the paper's memory-control knob) — and a build
+// that still exceeds it aborts with a *BudgetError wrapping
+// ErrBudgetExceeded. The manager stays consistent and reusable after an
+// abort.
+func WithMaxNodes(n uint64) Option {
+	return func(o *core.Options) { o.MaxNodes = n }
+}
+
+// WithMaxBytes bounds the manager's approximate total memory footprint
+// (nodes + operator arenas + caches + unique-table buckets) the same way
+// WithMaxNodes bounds the node count.
+func WithMaxBytes(n uint64) Option {
+	return func(o *core.Options) { o.MaxBytes = n }
+}
+
+// ErrBudgetExceeded is the sentinel wrapped by every *BudgetError.
+// Classify budget aborts with errors.Is(err, ErrBudgetExceeded).
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
+// BudgetError reports a build aborted because the manager's node or byte
+// budget was exceeded after all graceful-degradation steps. Context-free
+// methods (And, ITE, ...) panic it; ApplyCtx/ApplyBatchCtx return it.
+type BudgetError = core.BudgetError
+
+// LevelUsage is the per-variable usage record carried by a BudgetError.
+type LevelUsage = core.LevelUsage
+
+// InternalError is a kernel invariant violation contained into a typed
+// value instead of a raw panic. A manager that produced one must be
+// considered corrupt and discarded.
+type InternalError = core.InternalError
+
 // Manager owns a BDD node space over a fixed number of variables.
 //
 // Variables have stable public indices 0..NumVars-1; their position in
@@ -457,6 +492,19 @@ type Stats struct {
 	PeakBytes uint64
 	// NumNodes is the current live node count.
 	NumNodes uint64
+	// MemBytes is the current approximate memory footprint (the figure
+	// budget enforcement compares against WithMaxBytes).
+	MemBytes uint64
+	// EffEvalThreshold is the evaluation threshold currently in effect;
+	// lower than the configured value while degraded under memory
+	// pressure.
+	EffEvalThreshold int
+	// Budget degradation counters: forced early collections, evaluation
+	// threshold drops, compute-cache shrinks, and typed budget aborts.
+	BudgetForcedGCs      uint64
+	BudgetThresholdDrops uint64
+	BudgetCacheShrinks   uint64
+	BudgetAborts         uint64
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -468,6 +516,7 @@ func (m *Manager) Stats() Stats {
 		lock += m.k.Table(l).LockWait()
 	}
 	mem := m.k.Memory()
+	b := m.k.BudgetStats()
 	return Stats{
 		Ops:           t.Ops,
 		CacheHits:     t.CacheHits,
@@ -485,6 +534,13 @@ func (m *Manager) Stats() Stats {
 		GCCount:       mem.GCCount,
 		PeakBytes:     mem.PeakBytes,
 		NumNodes:      m.k.NumNodes(),
+
+		MemBytes:             m.k.MemBytes(),
+		EffEvalThreshold:     m.k.EffEvalThreshold(),
+		BudgetForcedGCs:      b.ForcedGCs,
+		BudgetThresholdDrops: b.ThresholdDrops,
+		BudgetCacheShrinks:   b.CacheShrinks,
+		BudgetAborts:         b.Aborts,
 	}
 }
 
