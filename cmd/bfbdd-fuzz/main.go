@@ -1,0 +1,171 @@
+// Command bfbdd-fuzz drives the cross-engine differential oracle
+// (internal/oracle): it generates seeded random operation sequences,
+// executes each against every construction engine plus a truth-table
+// evaluator, and cross-checks canonical structure, evaluation, model
+// counts, and metamorphic Boolean identities. On a divergence it writes
+// a replay file, delta-debugs the sequence to a minimal reproducer, and
+// prints a ready-to-paste regression test.
+//
+// Usage:
+//
+//	bfbdd-fuzz [flags]                 fuzz mode
+//	bfbdd-fuzz -replay FILE            verify a recorded replay file
+//
+//	-seqs N          sequences to run (default 1000)
+//	-vars N          variables per sequence, 1..14 (default 10)
+//	-ops N           operations per sequence (default 60)
+//	-seed N          base seed; sequence i uses splitmix64(seed+i)
+//	-par N           worker goroutines (default GOMAXPROCS)
+//	-engines LIST    comma-separated engine subset, or "all"
+//	-out DIR         directory for replay files (default ".")
+//	-shrink          shrink failures before reporting (default true)
+//	-shrink-budget N max re-executions while shrinking (default 400)
+//	-max-failures N  stop after N divergences (default 1)
+//	-v               progress output
+//
+// Exit status: 0 when every sequence passes (or a -replay verifies),
+// 1 when a divergence is found (or a replay fails to verify), 2 on
+// usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bfbdd/internal/oracle"
+)
+
+func main() {
+	var (
+		seqs         = flag.Int("seqs", 1000, "sequences to run")
+		vars         = flag.Int("vars", 10, "variables per sequence (1..14)")
+		ops          = flag.Int("ops", 60, "operations per sequence")
+		seed         = flag.Int64("seed", 1, "base seed")
+		par          = flag.Int("par", runtime.GOMAXPROCS(0), "worker goroutines")
+		engineList   = flag.String("engines", "all", "comma-separated engines, or all")
+		outDir       = flag.String("out", ".", "directory for replay files")
+		doShrink     = flag.Bool("shrink", true, "shrink failures before reporting")
+		shrinkBudget = flag.Int("shrink-budget", 400, "max re-executions while shrinking")
+		maxFailures  = flag.Int("max-failures", 1, "stop after this many divergences")
+		replayPath   = flag.String("replay", "", "verify a replay file and exit")
+		verbose      = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	engines, err := oracle.ParseEngines(*engineList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfbdd-fuzz:", err)
+		os.Exit(2)
+	}
+	if *replayPath != "" {
+		os.Exit(verifyReplay(*replayPath, engines))
+	}
+	if *vars < 1 || *vars > oracle.MaxVars {
+		fmt.Fprintf(os.Stderr, "bfbdd-fuzz: -vars must be 1..%d\n", oracle.MaxVars)
+		os.Exit(2)
+	}
+	if *seqs < 1 || *ops < 1 || *par < 1 || *maxFailures < 1 {
+		fmt.Fprintln(os.Stderr, "bfbdd-fuzz: -seqs, -ops, -par, -max-failures must be positive")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var (
+		done     atomic.Int64
+		failures atomic.Int64
+		mu       sync.Mutex // serializes failure reporting
+		wg       sync.WaitGroup
+	)
+	jobs := make(chan int)
+	for w := 0; w < *par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				cfg := oracle.Config{Seed: splitmix64(*seed, i), Vars: *vars, Ops: *ops}
+				rep := oracle.Run(oracle.Generate(cfg), engines)
+				n := done.Add(1)
+				if *verbose && n%500 == 0 {
+					fmt.Fprintf(os.Stderr, "bfbdd-fuzz: %d/%d sequences, %d failures, %s\n",
+						n, *seqs, failures.Load(), time.Since(start).Round(time.Millisecond))
+				}
+				if rep.Div == nil {
+					continue
+				}
+				failures.Add(1)
+				mu.Lock()
+				reportFailure(cfg, rep, engines, *outDir, *doShrink, *shrinkBudget)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < *seqs && failures.Load() < int64(*maxFailures); i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	if n := failures.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "bfbdd-fuzz: %d/%d sequences diverged in %s\n",
+			n, done.Load(), time.Since(start).Round(time.Millisecond))
+		os.Exit(1)
+	}
+	fmt.Printf("bfbdd-fuzz: %d sequences (%d vars, %d ops, %d engines) passed in %s\n",
+		done.Load(), *vars, *ops, len(engines), time.Since(start).Round(time.Millisecond))
+}
+
+// splitmix64 spreads the base seed across sequence indices so nearby
+// indices get unrelated generator streams.
+func splitmix64(base int64, i int) int64 {
+	x := uint64(base) + uint64(i)*0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x &^ (1 << 63)) // keep seeds non-negative for readability
+}
+
+// reportFailure shrinks a diverging sequence, writes its replay file,
+// and prints the regression test.
+func reportFailure(cfg oracle.Config, rep oracle.Report, engines []oracle.EngineSpec,
+	outDir string, doShrink bool, budget int) {
+	fmt.Fprintf(os.Stderr, "\nbfbdd-fuzz: seed %d: %s\n", cfg.Seed, rep.Verdict())
+	rp := oracle.NewReplay(cfg, rep)
+	if doShrink {
+		fails := func(s oracle.Sequence) bool { return oracle.Run(s, engines).Div != nil }
+		shrunk := oracle.Shrink(rep.Seq, fails, budget)
+		rp.AttachShrunk(shrunk, oracle.Run(shrunk, engines).Verdict())
+		fmt.Fprintf(os.Stderr, "bfbdd-fuzz: shrunk %d ops/%d vars -> %d ops/%d vars\n",
+			len(rep.Seq.Ops), rep.Seq.Vars, len(shrunk.Ops), shrunk.Vars)
+		fmt.Fprintf(os.Stderr, "bfbdd-fuzz: minimal trace:\n%s\n", shrunk)
+		fmt.Fprintf(os.Stderr, "bfbdd-fuzz: regression test:\n%s", rp.RegressionTest)
+	}
+	path := filepath.Join(outDir, fmt.Sprintf("replay-%d.json", cfg.Seed))
+	if err := oracle.WriteReplay(path, rp); err != nil {
+		fmt.Fprintln(os.Stderr, "bfbdd-fuzz: writing replay:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "bfbdd-fuzz: replay written to %s (rerun: bfbdd-fuzz -replay %s)\n", path, path)
+}
+
+// verifyReplay re-executes a recorded replay and reports whether the
+// trace and verdict reproduce exactly.
+func verifyReplay(path string, engines []oracle.EngineSpec) int {
+	rp, err := oracle.ReadReplay(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfbdd-fuzz:", err)
+		return 2
+	}
+	if err := rp.Verify(engines); err != nil {
+		fmt.Fprintln(os.Stderr, "bfbdd-fuzz: replay does NOT reproduce:", err)
+		return 1
+	}
+	fmt.Printf("bfbdd-fuzz: replay %s reproduces exactly (seed %d, %d ops, verdict %q)\n",
+		path, rp.Seed, rp.Ops, rp.Verdict)
+	return 0
+}

@@ -421,6 +421,9 @@ func (k *Kernel) Apply(op Op, f, g node.Ref) node.Ref {
 	if !f.Valid() || !g.Valid() {
 		panic("core: Apply with invalid operand")
 	}
+	if plantedOracleBug && op == OpDiff && f == g && !f.IsTerminal() {
+		return node.One // deliberately wrong: f \ f is Zero (see oraclebug_on.go)
+	}
 	k.applySeq++
 	// Operands must survive (and track) a pre-operation collection. The
 	// unpin is deferred so an aborted (canceled) build does not leak pins.

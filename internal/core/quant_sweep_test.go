@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"bfbdd/internal/node"
+)
+
+// The exhaustive quantifier sweep checks Exists and Forall against
+// truth tables for EVERY Boolean function of up to four variables and
+// EVERY variable subset. Row convention (local to this file, unlike the
+// MSB-first masks in quant_test.go): bit v of row r is the value of the
+// variable at level v, and bit r of a mask is the function's value on
+// row r.
+
+// sweepKernel builds a kernel that never garbage-collects, so raw refs
+// stay stable and results can be compared by ref identity without pins.
+func sweepKernel(nvars int) *Kernel {
+	return NewKernel(Options{Levels: nvars, Engine: EnginePBF,
+		EvalThreshold: 4, GroupSize: 4, GCMinNodes: 1 << 30})
+}
+
+// sweepBDD constructs the canonical BDD of a truth mask bottom-up by
+// Shannon expansion. memo is keyed on (level, sub-mask) so the whole
+// sweep over 2^16 functions shares subfunction work.
+func sweepBDD(k *Kernel, level, nvars int, mask uint64, memo map[[2]uint64]node.Ref) node.Ref {
+	if level == nvars {
+		if mask&1 == 1 {
+			return node.One
+		}
+		return node.Zero
+	}
+	key := [2]uint64{uint64(level), mask}
+	if r, ok := memo[key]; ok {
+		return r
+	}
+	rows := 1 << (nvars - level - 1)
+	var lo, hi uint64
+	for r := 0; r < rows; r++ {
+		lo |= mask >> (2 * r) & 1 << r
+		hi |= mask >> (2*r + 1) & 1 << r
+	}
+	l := sweepBDD(k, level+1, nvars, lo, memo)
+	h := sweepBDD(k, level+1, nvars, hi, memo)
+	out := k.MkNode(level, l, h)
+	memo[key] = out
+	return out
+}
+
+// sweepQuant folds the variables of subset out of a mask: exists keeps a
+// row when either cofactor row is set, forall when both are.
+func sweepQuant(mask uint64, subset, nvars int, ex bool) uint64 {
+	for v := 0; v < nvars; v++ {
+		if subset>>v&1 == 0 {
+			continue
+		}
+		var out uint64
+		for r := 0; r < 1<<nvars; r++ {
+			a := mask>>(r&^(1<<v))&1 == 1
+			b := mask>>(r|1<<v)&1 == 1
+			if (ex && (a || b)) || (!ex && a && b) {
+				out |= 1 << r
+			}
+		}
+		mask = out
+	}
+	return mask
+}
+
+// TestQuantExhaustiveSweep checks ∃S f and ∀S f for every function f of
+// 1..4 variables against every variable subset S, comparing the kernel's
+// result ref against the independently constructed BDD of the
+// truth-table fold. Short mode stops at 3 variables (every function of 4
+// variables is 65536 masks × 16 subsets).
+func TestQuantExhaustiveSweep(t *testing.T) {
+	maxVars := 4
+	if testing.Short() {
+		maxVars = 3
+	}
+	for nvars := 1; nvars <= maxVars; nvars++ {
+		k := sweepKernel(nvars)
+		memo := make(map[[2]uint64]node.Ref)
+		// Positive cubes for every subset, built once.
+		cubes := make([]node.Ref, 1<<nvars)
+		for subset := range cubes {
+			cube := node.Ref(node.One)
+			for v := nvars - 1; v >= 0; v-- {
+				if subset>>v&1 == 1 {
+					cube = k.MkNode(v, node.Zero, cube)
+				}
+			}
+			cubes[subset] = cube
+		}
+		numFuncs := uint64(1) << (1 << nvars)
+		for mask := uint64(0); mask < numFuncs; mask++ {
+			f := sweepBDD(k, 0, nvars, mask, memo)
+			for subset := 0; subset < 1<<nvars; subset++ {
+				wantEx := sweepBDD(k, 0, nvars, sweepQuant(mask, subset, nvars, true), memo)
+				if got := k.Exists(f, cubes[subset]); got != wantEx {
+					t.Fatalf("nvars=%d mask=%#x subset=%#x: Exists mismatch", nvars, mask, subset)
+				}
+				wantFa := sweepBDD(k, 0, nvars, sweepQuant(mask, subset, nvars, false), memo)
+				if got := k.Forall(f, cubes[subset]); got != wantFa {
+					t.Fatalf("nvars=%d mask=%#x subset=%#x: Forall mismatch", nvars, mask, subset)
+				}
+			}
+		}
+		k.Close()
+	}
+}

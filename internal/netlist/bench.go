@@ -83,6 +83,9 @@ func Parse(name string, r io.Reader) (*Circuit, error) {
 
 	c := New(name)
 	for _, in := range inputs {
+		if _, dup := c.byName[in]; dup {
+			return nil, fmt.Errorf("netlist: duplicate input %q", in)
+		}
 		c.AddInput(in)
 	}
 	byName := make(map[string]*rawGate, len(raws))
@@ -126,6 +129,9 @@ func Parse(name string, r io.Reader) (*Circuit, error) {
 			}
 		}
 		state[gn] = doneState
+		if lo, hi := g.typ.arity(); len(g.fanins) < lo || (hi >= 0 && len(g.fanins) > hi) {
+			return fmt.Errorf("netlist: line %d: %s gate %q has %d fanins", g.line, g.typ, g.name, len(g.fanins))
+		}
 		fanins := make([]int, len(g.fanins))
 		for i, f := range g.fanins {
 			fanins[i] = c.byName[f]

@@ -1,0 +1,44 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench feeds arbitrary bytes to the .bench parser. Hostile
+// input must produce an error, never a panic; accepted input must
+// validate and survive a Write → re-Parse round trip.
+func FuzzParseBench(f *testing.F) {
+	f.Add([]byte("INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = AND(a, b)\n"))
+	f.Add([]byte("# comment only\n"))
+	f.Add([]byte("INPUT(a)\nOUTPUT(f)\nf = NOT(a)\ng = BUFF(f)\n"))
+	f.Add([]byte("f = AND(f, f)\n"))            // self-cycle
+	f.Add([]byte("OUTPUT(f)\nf = XOR(a, b)\n")) // undefined fanins
+	f.Add([]byte("f = CONST1()\nOUTPUT(f)\n"))
+	f.Add([]byte("INPUT(a)\nf = AND(a\n")) // unbalanced paren
+	f.Add([]byte(strings.Repeat("INPUT(x)\n", 50)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse("fuzz", bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a circuit Validate rejects: %v\ninput: %q", verr, data)
+		}
+		var out bytes.Buffer
+		if werr := Write(&out, c); werr != nil {
+			t.Fatalf("Write failed on a parsed circuit: %v\ninput: %q", werr, data)
+		}
+		c2, rerr := Parse("fuzz-reparse", &out)
+		if rerr != nil {
+			t.Fatalf("re-Parse of Write output failed: %v\nemitted: %q", rerr, out.Bytes())
+		}
+		if len(c2.Gates) != len(c.Gates) || len(c2.Inputs) != len(c.Inputs) ||
+			len(c2.Outputs) != len(c.Outputs) {
+			t.Fatalf("round trip changed shape: %d/%d/%d gates/inputs/outputs, was %d/%d/%d",
+				len(c2.Gates), len(c2.Inputs), len(c2.Outputs),
+				len(c.Gates), len(c.Inputs), len(c.Outputs))
+		}
+	})
+}

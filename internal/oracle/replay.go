@@ -1,0 +1,104 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReplayVersion is the current replay-file format version. OpKind and
+// the OpRec JSON encoding are append-only, so older files stay readable.
+const ReplayVersion = 1
+
+// Replay is the on-disk record of one fuzzed sequence — enough to
+// regenerate it from its seed, re-execute it, and confirm the same
+// verdict byte for byte. Failing replays also carry the shrunk sequence
+// and a ready-to-paste regression test.
+type Replay struct {
+	Version        int       `json:"version"`
+	Seed           int64     `json:"seed"`
+	Vars           int       `json:"vars"`
+	Ops            int       `json:"ops"`
+	Verdict        string    `json:"verdict"`
+	Trace          []string  `json:"trace"`
+	Shrunk         *Sequence `json:"shrunk,omitempty"`
+	ShrunkOps      int       `json:"shrunk_ops,omitempty"`
+	ShrunkVerdict  string    `json:"shrunk_verdict,omitempty"`
+	RegressionTest string    `json:"regression_test,omitempty"`
+}
+
+// NewReplay records the generation parameters and outcome of one run.
+func NewReplay(cfg Config, rep Report) *Replay {
+	return &Replay{
+		Version: ReplayVersion,
+		Seed:    cfg.Seed,
+		Vars:    cfg.Vars,
+		Ops:     cfg.Ops,
+		Verdict: rep.Verdict(),
+		Trace:   rep.Seq.Trace(),
+	}
+}
+
+// AttachShrunk adds the minimized sequence, its verdict, and the
+// generated regression test to the replay.
+func (rp *Replay) AttachShrunk(shrunk Sequence, verdict string) {
+	s := shrunk
+	rp.Shrunk = &s
+	rp.ShrunkOps = len(s.Ops)
+	rp.ShrunkVerdict = verdict
+	rp.RegressionTest = RegressionTest(s)
+}
+
+// Verify regenerates the sequence from the recorded seed and re-executes
+// it: the regenerated trace must match the recorded one byte for byte,
+// and the fresh verdict (and shrunk verdict, when present) must equal
+// what the file claims. This is the replay guarantee — a failure seed is
+// sufficient to reproduce the exact op trace and outcome.
+func (rp *Replay) Verify(engines []EngineSpec) error {
+	if rp.Version != ReplayVersion {
+		return fmt.Errorf("oracle: replay version %d, this build reads %d", rp.Version, ReplayVersion)
+	}
+	seq := Generate(Config{Seed: rp.Seed, Vars: rp.Vars, Ops: rp.Ops})
+	trace := seq.Trace()
+	if len(trace) != len(rp.Trace) {
+		return fmt.Errorf("oracle: regenerated trace has %d ops, file has %d", len(trace), len(rp.Trace))
+	}
+	for i := range trace {
+		if trace[i] != rp.Trace[i] {
+			return fmt.Errorf("oracle: trace diverges at line %d: regenerated %q, file %q",
+				i, trace[i], rp.Trace[i])
+		}
+	}
+	if got := Run(seq, engines).Verdict(); got != rp.Verdict {
+		return fmt.Errorf("oracle: verdict mismatch: re-run says %q, file says %q", got, rp.Verdict)
+	}
+	if rp.Shrunk != nil {
+		if got := Run(*rp.Shrunk, engines).Verdict(); got != rp.ShrunkVerdict {
+			return fmt.Errorf("oracle: shrunk verdict mismatch: re-run says %q, file says %q",
+				got, rp.ShrunkVerdict)
+		}
+	}
+	return nil
+}
+
+// WriteReplay writes the replay as indented JSON.
+func WriteReplay(path string, rp *Replay) error {
+	data, err := json.MarshalIndent(rp, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReplay parses a replay file.
+func ReadReplay(path string) (*Replay, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rp := new(Replay)
+	if err := json.Unmarshal(data, rp); err != nil {
+		return nil, fmt.Errorf("oracle: bad replay file %s: %w", path, err)
+	}
+	return rp, nil
+}

@@ -1,0 +1,94 @@
+package order
+
+import (
+	"reflect"
+	"testing"
+
+	"bfbdd/internal/netlist"
+)
+
+// builtinCircuits instantiates every built-in generated circuit family
+// at a small width, plus the two synthetic ISCAS-like benchmarks.
+func builtinCircuits(t *testing.T) map[string]*netlist.Circuit {
+	t.Helper()
+	cs := map[string]*netlist.Circuit{
+		"adder-8":  netlist.RippleAdder(8),
+		"cla-8":    netlist.CarryLookaheadAdder(8),
+		"mult-5":   netlist.Multiplier(5),
+		"cmp-8":    netlist.Comparator(8),
+		"parity-9": netlist.Parity(9),
+		"penc-8":   netlist.PriorityEncoder(8),
+		"alu-4":    netlist.ALU(4),
+		"c2670":    netlist.C2670Like(),
+		"c3540":    netlist.C3540Like(),
+		"random":   netlist.Random(10, 40, 1),
+	}
+	for name, c := range cs {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: invalid circuit: %v", name, err)
+		}
+	}
+	return cs
+}
+
+// TestComputeDeterministic re-runs every deterministic ordering method on
+// every built-in circuit and requires bit-identical results: variable
+// orders feed directly into BDD construction, so any run-to-run drift
+// would make whole-system results unreproducible.
+func TestComputeDeterministic(t *testing.T) {
+	methods := []Method{DFS, Identity, Interleave, Reverse}
+	for name, c := range builtinCircuits(t) {
+		for _, m := range methods {
+			first := Compute(c, m, 0)
+			for run := 1; run < 5; run++ {
+				if got := Compute(c, m, 0); !reflect.DeepEqual(got, first) {
+					t.Errorf("%s/%s: run %d differs from run 0\n got %v\nwant %v",
+						name, m, run, got, first)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestComputeSeededShuffleDeterministic checks that Shuffle is a pure
+// function of its seed: same seed, same permutation; different seeds,
+// (almost surely) different permutations on non-trivial circuits.
+func TestComputeSeededShuffleDeterministic(t *testing.T) {
+	for name, c := range builtinCircuits(t) {
+		a := Compute(c, Shuffle, 7)
+		b := Compute(c, Shuffle, 7)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: Shuffle with equal seeds diverged", name)
+		}
+		if len(c.Inputs) >= 8 {
+			if other := Compute(c, Shuffle, 8); reflect.DeepEqual(a, other) {
+				t.Errorf("%s: Shuffle ignored its seed", name)
+			}
+		}
+	}
+}
+
+// TestComputeIsPermutation requires every method to produce a total
+// permutation of the input positions on every built-in circuit.
+func TestComputeIsPermutation(t *testing.T) {
+	methods := []Method{DFS, Identity, Interleave, Reverse, Shuffle}
+	for name, c := range builtinCircuits(t) {
+		for _, m := range methods {
+			levels := Compute(c, m, 3)
+			if len(levels) != len(c.Inputs) {
+				t.Fatalf("%s/%s: %d levels for %d inputs", name, m, len(levels), len(c.Inputs))
+			}
+			seen := make([]bool, len(levels))
+			for pos, lv := range levels {
+				if lv < 0 || lv >= len(levels) {
+					t.Fatalf("%s/%s: input %d assigned level %d (out of range)", name, m, pos, lv)
+				}
+				if seen[lv] {
+					t.Fatalf("%s/%s: level %d assigned twice", name, m, lv)
+				}
+				seen[lv] = true
+			}
+		}
+	}
+}

@@ -550,3 +550,10 @@ func (m *Manager) ResetStats() { m.k.ResetStats() }
 // Kernel exposes the internal kernel for the benchmark harness and
 // examples living in this module. External users should ignore it.
 func (m *Manager) Kernel() *core.Kernel { return m.k }
+
+// Ref exposes the handle's current canonical node reference for the
+// in-module differential oracle and harness (paired with Kernel(), e.g.
+// for Kernel().CanonicalSignature). The value goes stale across garbage
+// collections — re-read it rather than caching it. External users should
+// ignore it.
+func (b *BDD) Ref() node.Ref { return b.ref() }
