@@ -14,11 +14,13 @@ package bfbdd_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"bfbdd"
 	"bfbdd/internal/core"
 	"bfbdd/internal/harness"
+	"bfbdd/internal/netlist"
 	"bfbdd/internal/order"
 	"bfbdd/internal/stats"
 )
@@ -275,6 +277,174 @@ func BenchmarkApplyMicro(b *testing.B) {
 				h := f.Or(g)
 				h.Free()
 			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Compiled read-path benchmarks: Manager.Eval (the live write-path walk)
+// against the frozen artifact's Eval and EvalBatch on C6288-style
+// multiplier outputs. mult-11 is the quick default; mult-13 is the
+// paper-scale workload the acceptance numbers in bench_report_default.txt
+// are recorded on. All three report ns/assign so the per-assignment
+// throughput ratio reads directly off the output.
+
+// multEval is one multiplier workload shared by the eval benchmarks:
+// the live manager, the mid output (the widest product column), the
+// compiled artifact of all outputs, and a fixed pool of assignments.
+type multEval struct {
+	m    *bfbdd.Manager
+	mid  *bfbdd.BDD
+	fn   *bfbdd.CompiledFunc
+	root int
+	rows [][]bool
+}
+
+var multEvalCache = map[int]*multEval{}
+
+// gateEval builds one netlist gate through the public BDD API, freeing
+// folding intermediates.
+func gateEval(m *bfbdd.Manager, g netlist.Gate, gateB []*bfbdd.BDD, inputPos int) *bfbdd.BDD {
+	bin := func(op netlist.GateType, f, h *bfbdd.BDD) *bfbdd.BDD {
+		switch op {
+		case netlist.GateAnd, netlist.GateNand:
+			return f.And(h)
+		case netlist.GateOr, netlist.GateNor:
+			return f.Or(h)
+		default:
+			return f.Xor(h)
+		}
+	}
+	switch g.Type {
+	case netlist.GateInput:
+		return m.Var(inputPos)
+	case netlist.GateConst0:
+		return m.Zero()
+	case netlist.GateConst1:
+		return m.One()
+	case netlist.GateNot:
+		return gateB[g.Fanin[0]].Not()
+	case netlist.GateBuf:
+		b := gateB[g.Fanin[0]]
+		return b.Or(b)
+	}
+	acc := gateB[g.Fanin[0]]
+	freeAcc := false
+	for _, f := range g.Fanin[1:] {
+		next := bin(g.Type, acc, gateB[f])
+		if freeAcc {
+			acc.Free()
+		}
+		acc, freeAcc = next, true
+	}
+	switch g.Type {
+	case netlist.GateNand, netlist.GateNor, netlist.GateXnor:
+		next := acc.Not()
+		if freeAcc {
+			acc.Free()
+		}
+		acc = next
+	}
+	return acc
+}
+
+// multEvalSetup builds (once per size, shared across benchmarks) the
+// n-bit multiplier's output BDDs under the DFS order and compiles every
+// output into one artifact.
+func multEvalSetup(b *testing.B, n int) *multEval {
+	b.Helper()
+	if me, ok := multEvalCache[n]; ok {
+		return me
+	}
+	c := netlist.Multiplier(n)
+	m := bfbdd.New(c.NumInputs())
+	m.SetOrder(order.Compute(c, order.DFS, 0))
+	inputPos := make(map[int]int, len(c.Inputs))
+	for pos, gi := range c.Inputs {
+		inputPos[gi] = pos
+	}
+	isOut := make(map[int]bool, len(c.Outputs))
+	for _, o := range c.Outputs {
+		isOut[o] = true
+	}
+	gateB := make([]*bfbdd.BDD, len(c.Gates))
+	for gi, g := range c.Gates {
+		gateB[gi] = gateEval(m, g, gateB, inputPos[gi])
+	}
+	outs := make([]*bfbdd.BDD, len(c.Outputs))
+	for i, o := range c.Outputs {
+		outs[i] = gateB[o]
+	}
+	for gi, bd := range gateB {
+		if !isOut[gi] {
+			bd.Free()
+		}
+	}
+	fn, err := m.Compile(outs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mid := len(outs) / 2 // the widest product column
+	root, _ := fn.RootByID(uint64(mid))
+	rng := rand.New(rand.NewSource(int64(n) * 6288))
+	rows := make([][]bool, 1024)
+	for i := range rows {
+		row := make([]bool, c.NumInputs())
+		for v := range row {
+			row[v] = rng.Intn(2) == 1
+		}
+		rows[i] = row
+	}
+	me := &multEval{m: m, mid: outs[mid], fn: fn, root: root, rows: rows}
+	multEvalCache[n] = me
+	return me
+}
+
+var multEvalSizes = []int{11, 13}
+
+// BenchmarkManagerEval is the baseline: single-assignment evaluation
+// through the live manager (per-call level translation plus a pointer
+// walk over the arena store).
+func BenchmarkManagerEval(b *testing.B) {
+	for _, n := range multEvalSizes {
+		b.Run(fmt.Sprintf("mult-%d", n), func(b *testing.B) {
+			me := multEvalSetup(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				me.mid.Eval(me.rows[i%len(me.rows)])
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/assign")
+		})
+	}
+}
+
+// BenchmarkCompiledEval evaluates the same assignments on the frozen
+// artifact: a zero-allocation walk over the packed level-major array.
+func BenchmarkCompiledEval(b *testing.B) {
+	for _, n := range multEvalSizes {
+		b.Run(fmt.Sprintf("mult-%d", n), func(b *testing.B) {
+			me := multEvalSetup(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				me.fn.Eval(me.root, me.rows[i%len(me.rows)])
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/assign")
+		})
+	}
+}
+
+// BenchmarkCompiledEvalBatch evaluates the whole assignment pool per
+// operation; ns/assign is the artifact's amortized per-assignment cost,
+// the number the acceptance ratio against BenchmarkManagerEval uses.
+func BenchmarkCompiledEvalBatch(b *testing.B) {
+	for _, n := range multEvalSizes {
+		b.Run(fmt.Sprintf("mult-%d", n), func(b *testing.B) {
+			me := multEvalSetup(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				me.fn.EvalBatch(me.root, me.rows)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(me.rows)), "ns/assign")
 		})
 	}
 }

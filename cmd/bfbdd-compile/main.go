@@ -1,0 +1,292 @@
+// Command bfbdd-compile is the offline toolkit for compiled function
+// artifacts — the immutable read-path format written by
+// Manager.Compile, GET /v1/funcs/{id}/download, and the server's
+// funcs/ persistence directory.
+//
+//	bfbdd-compile build -o out.fn [-raw] file.snap
+//	                               restore a snapshot into a fresh
+//	                               manager and freeze its roots into a
+//	                               compiled artifact
+//	bfbdd-compile info file.fn     header, size, and root table
+//	bfbdd-compile eval [-root id] file.fn 0110...
+//	                               evaluate assignments (one 0/1 string
+//	                               per argument, one variable per char)
+//	bfbdd-compile satcount [-root id] file.fn
+//	                               exact model count
+//	bfbdd-compile anysat [-root id] file.fn
+//	                               one satisfying assignment, if any
+//
+// Artifacts never need (or touch) a Manager: every subcommand except
+// build runs on the packed array alone.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"bfbdd"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd := args[0]; cmd {
+	case "build":
+		err = runBuild(args[1:])
+	case "info":
+		err = runInfo(args[1:])
+	case "eval":
+		err = runEval(args[1:])
+	case "satcount":
+		err = runSatCount(args[1:])
+	case "anysat":
+		err = runAnySat(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "bfbdd-compile: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfbdd-compile: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  bfbdd-compile build -o out.fn [-raw] file.snap
+                                         compile a snapshot's roots into an artifact
+  bfbdd-compile info     file.fn         inspect header and root table
+  bfbdd-compile eval     [-root id] file.fn 0110...
+                                         evaluate assignments (one 0/1 string each)
+  bfbdd-compile satcount [-root id] file.fn
+                                         exact satisfying-assignment count
+  bfbdd-compile anysat   [-root id] file.fn
+                                         one satisfying assignment, if any
+`)
+}
+
+func loadFunc(path string) (*bfbdd.CompiledFunc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bfbdd.LoadCompiled(bufio.NewReaderSize(f, 1<<20))
+}
+
+// rootFlag resolves -root: the published root ID when given, else the
+// artifact's first root.
+func rootFlag(fn *bfbdd.CompiledFunc, id int64) (int, error) {
+	if fn.NumRoots() == 0 {
+		return 0, fmt.Errorf("artifact has no roots")
+	}
+	if id < 0 {
+		return 0, nil
+	}
+	r, ok := fn.RootByID(uint64(id))
+	if !ok {
+		return 0, fmt.Errorf("artifact has no root id %d (have %v)", id, fn.RootIDs())
+	}
+	return r, nil
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	out := fs.String("o", "", "output artifact file (required)")
+	raw := fs.Bool("raw", false, "write raw child references instead of varint deltas")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("build needs -o output")
+	}
+	if len(fs.Args()) != 1 {
+		return fmt.Errorf("build takes exactly one snapshot file")
+	}
+	path := fs.Args()[0]
+	sf, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	m, roots, err := bfbdd.RestoreManager(sf)
+	sf.Close()
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	fn, err := m.CompileRoots(roots)
+	if err != nil {
+		return err
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(of, 1<<20)
+	var serr error
+	if *raw {
+		serr = fn.SerializeRaw(bw)
+	} else {
+		serr = fn.Serialize(bw)
+	}
+	if serr == nil {
+		serr = bw.Flush()
+	}
+	if serr != nil {
+		of.Close()
+		os.Remove(*out)
+		return serr
+	}
+	if err := of.Close(); err != nil {
+		return err
+	}
+	ost, _ := os.Stat(*out)
+	fmt.Printf("compiled %s -> %s: %d vars, %d nodes, %d roots, %d bytes\n",
+		path, *out, fn.NumVars(), fn.NumNodes(), fn.NumRoots(), ost.Size())
+	return nil
+}
+
+func runInfo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("info takes exactly one artifact file")
+	}
+	fn, err := loadFunc(args[0])
+	if err != nil {
+		return err
+	}
+	st, _ := os.Stat(args[0])
+	fmt.Printf("file:        %s (%d bytes)\n", args[0], st.Size())
+	fmt.Printf("variables:   %d\n", fn.NumVars())
+	fmt.Printf("nodes:       %d\n", fn.NumNodes())
+	fmt.Printf("memory:      %d bytes resident\n", fn.MemBytes())
+	identity := true
+	for v, l := range fn.Var2Level() {
+		if v != l {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		fmt.Printf("order:       identity\n")
+	} else {
+		fmt.Printf("order:       %v (var -> level)\n", fn.Var2Level())
+	}
+	fmt.Printf("root table:\n")
+	for _, id := range fn.RootIDs() {
+		r, _ := fn.RootByID(id)
+		fmt.Printf("  id %-8d size %d\n", id, fn.RootSize(r))
+	}
+	return nil
+}
+
+// parseAssignment turns a "0110..." string into a []bool, one variable
+// per character.
+func parseAssignment(s string, numVars int) ([]bool, error) {
+	if len(s) != numVars {
+		return nil, fmt.Errorf("assignment %q has %d characters for %d variables", s, len(s), numVars)
+	}
+	a := make([]bool, numVars)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			a[i] = true
+		default:
+			return nil, fmt.Errorf("assignment %q: want only 0 and 1", s)
+		}
+	}
+	return a, nil
+}
+
+func runEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	rootID := fs.Int64("root", -1, "root id to evaluate (default: first root)")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) < 2 {
+		return fmt.Errorf("eval takes an artifact file and at least one assignment string")
+	}
+	fn, err := loadFunc(rest[0])
+	if err != nil {
+		return err
+	}
+	root, err := rootFlag(fn, *rootID)
+	if err != nil {
+		return err
+	}
+	assignments := make([][]bool, len(rest)-1)
+	for i, s := range rest[1:] {
+		if assignments[i], err = parseAssignment(s, fn.NumVars()); err != nil {
+			return err
+		}
+	}
+	for i, v := range fn.EvalBatch(root, assignments) {
+		val := 0
+		if v {
+			val = 1
+		}
+		fmt.Printf("%s -> %d\n", rest[1+i], val)
+	}
+	return nil
+}
+
+func runSatCount(args []string) error {
+	fs := flag.NewFlagSet("satcount", flag.ExitOnError)
+	rootID := fs.Int64("root", -1, "root id to count (default: first root)")
+	fs.Parse(args)
+	if len(fs.Args()) != 1 {
+		return fmt.Errorf("satcount takes exactly one artifact file")
+	}
+	fn, err := loadFunc(fs.Args()[0])
+	if err != nil {
+		return err
+	}
+	root, err := rootFlag(fn, *rootID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", fn.SatCount(root).String())
+	return nil
+}
+
+func runAnySat(args []string) error {
+	fs := flag.NewFlagSet("anysat", flag.ExitOnError)
+	rootID := fs.Int64("root", -1, "root id to satisfy (default: first root)")
+	fs.Parse(args)
+	if len(fs.Args()) != 1 {
+		return fmt.Errorf("anysat takes exactly one artifact file")
+	}
+	fn, err := loadFunc(fs.Args()[0])
+	if err != nil {
+		return err
+	}
+	root, err := rootFlag(fn, *rootID)
+	if err != nil {
+		return err
+	}
+	asn, ok := fn.AnySat(root)
+	if !ok {
+		return fmt.Errorf("unsatisfiable")
+	}
+	// Unconstrained variables print as '-': any value satisfies.
+	buf := make([]byte, fn.NumVars())
+	for i := range buf {
+		buf[i] = '-'
+	}
+	for v, val := range asn {
+		if val {
+			buf[v] = '1'
+		} else {
+			buf[v] = '0'
+		}
+	}
+	fmt.Printf("%s\n", buf)
+	return nil
+}

@@ -53,6 +53,9 @@ func main() {
 		maxTotalBytes   = flag.Int64("max-total-bytes", 0, "server-wide memory budget; allocating requests are shed with 429 while the pool is over it (0 = unlimited)")
 		sessionMaxNodes = flag.Uint64("session-max-nodes", 0, "per-session live-node budget cap; over-budget builds abort with 413 (0 = unlimited)")
 		sessionMaxBytes = flag.Uint64("session-max-bytes", 0, "per-session memory budget cap in bytes (0 = unlimited)")
+		maxFuncBytes    = flag.Int64("max-func-bytes", 0, "byte pool for published function artifacts; over-pool publishes get 413 (0 = unlimited)")
+		maxEvalBody     = flag.Int64("max-eval-body-bytes", 4<<20, "request-body limit on /v1/funcs/{id}/eval; larger bodies get 413")
+		maxEvalBatch    = flag.Int("max-eval-batch", 8192, "assignments accepted per eval request; larger batches get 413")
 		pprofEnabled    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain at exit")
 	)
@@ -74,6 +77,9 @@ func main() {
 		MaxTotalBytes:       *maxTotalBytes,
 		SessionMaxNodes:     *sessionMaxNodes,
 		SessionMaxBytes:     *sessionMaxBytes,
+		MaxFuncBytes:        *maxFuncBytes,
+		MaxEvalBodyBytes:    *maxEvalBody,
+		MaxEvalBatch:        *maxEvalBatch,
 		EnablePprof:         *pprofEnabled,
 	})
 

@@ -1,0 +1,52 @@
+package bfbdd
+
+import (
+	"fmt"
+	"io"
+
+	"bfbdd/internal/compiled"
+)
+
+// CompiledFunc is an immutable compiled artifact of one or more BDDs:
+// a flat, level-major packed node array supporting lock-free concurrent
+// Eval/EvalBatch/SatCount/AnySat with no Manager involvement. A
+// CompiledFunc holds no reference to the Manager it came from and stays
+// valid after that manager is garbage-collected, reordered, or closed.
+// See bfbdd/internal/compiled for the artifact and wire format.
+type CompiledFunc = compiled.Func
+
+// Compile freezes the subgraph reachable from the given BDDs into an
+// immutable CompiledFunc; roots are labeled 0, 1, … in argument order.
+// Compile only reads the manager and must be serialized against
+// operations on it, like Snapshot.
+func (m *Manager) Compile(roots ...*BDD) (*CompiledFunc, error) {
+	labeled := make([]SnapshotRoot, len(roots))
+	for i, b := range roots {
+		labeled[i] = SnapshotRoot{ID: uint64(i), B: b}
+	}
+	return m.CompileRoots(labeled)
+}
+
+// CompileRoots is Compile with caller-chosen root IDs (the server uses
+// its wire handle numbers, so artifact roots keep their public names).
+func (m *Manager) CompileRoots(roots []SnapshotRoot) (*CompiledFunc, error) {
+	m.checkOpen()
+	crs := make([]compiled.Root, len(roots))
+	for i, rt := range roots {
+		if rt.B == nil {
+			return nil, fmt.Errorf("bfbdd: compile root %d is nil", i)
+		}
+		if rt.B.m != m {
+			return nil, fmt.Errorf("bfbdd: compile root %d belongs to a different manager", i)
+		}
+		crs[i] = compiled.Root{ID: rt.ID, Ref: rt.B.ref()}
+	}
+	return compiled.Compile(m.k, m.var2level, crs)
+}
+
+// LoadCompiled reads a compiled artifact stream produced by
+// CompiledFunc.Serialize. Malformed input yields a typed error from
+// bfbdd/internal/compiled (never a panic).
+func LoadCompiled(r io.Reader) (*CompiledFunc, error) {
+	return compiled.Load(r)
+}

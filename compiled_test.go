@@ -1,0 +1,314 @@
+package bfbdd_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bfbdd"
+)
+
+// buildMix constructs a deterministic pseudo-random pile of functions
+// over numVars variables, returning the manager and the functions.
+func buildMix(t testing.TB, numVars, count int, seed int64, opts ...bfbdd.Option) (*bfbdd.Manager, []*bfbdd.BDD) {
+	t.Helper()
+	m := bfbdd.New(numVars, opts...)
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([]*bfbdd.BDD, 0, 2*numVars+count)
+	for v := 0; v < numVars; v++ {
+		pool = append(pool, m.Var(v), m.NVar(v))
+	}
+	var out []*bfbdd.BDD
+	for len(out) < count {
+		f := pool[rng.Intn(len(pool))]
+		g := pool[rng.Intn(len(pool))]
+		var h *bfbdd.BDD
+		switch rng.Intn(5) {
+		case 0:
+			h = f.And(g)
+		case 1:
+			h = f.Or(g)
+		case 2:
+			h = f.Xor(g)
+		case 3:
+			h = f.ITE(g, pool[rng.Intn(len(pool))])
+		default:
+			h = f.Not()
+		}
+		pool = append(pool, h)
+		out = append(out, h)
+	}
+	return m, out
+}
+
+func assignmentOf(mask uint64, numVars int) []bool {
+	a := make([]bool, numVars)
+	for v := 0; v < numVars; v++ {
+		a[v] = mask>>uint(v)&1 == 1
+	}
+	return a
+}
+
+// TestCompiledMatchesManager exhaustively compares Eval, EvalBatch,
+// SatCount, and AnySat of a compiled artifact against the live manager.
+func TestCompiledMatchesManager(t *testing.T) {
+	const numVars = 10
+	m, fns := buildMix(t, numVars, 8, 42)
+	defer m.Close()
+	cf, err := m.Compile(fns...)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if cf.NumVars() != numVars || cf.NumRoots() != len(fns) {
+		t.Fatalf("artifact shape: %d vars %d roots", cf.NumVars(), cf.NumRoots())
+	}
+	all := make([][]bool, 1<<numVars)
+	for mask := range all {
+		all[mask] = assignmentOf(uint64(mask), numVars)
+	}
+	for i, b := range fns {
+		batch := cf.EvalBatch(i, all)
+		for mask, a := range all {
+			want := b.Eval(a)
+			if got := cf.Eval(i, a); got != want {
+				t.Fatalf("root %d mask %d: Eval=%v want %v", i, mask, got, want)
+			}
+			if batch[mask] != want {
+				t.Fatalf("root %d mask %d: EvalBatch=%v want %v", i, mask, batch[mask], want)
+			}
+		}
+		if got, want := cf.SatCount(i), b.SatCount(); got.Cmp(want) != 0 {
+			t.Fatalf("root %d: SatCount=%v want %v", i, got, want)
+		}
+		asn, ok := cf.AnySat(i)
+		if ok != !b.IsZero() {
+			t.Fatalf("root %d: AnySat ok=%v IsZero=%v", i, ok, b.IsZero())
+		}
+		if ok {
+			full := make([]bool, numVars)
+			for v, val := range asn {
+				full[v] = val
+			}
+			if !b.Eval(full) {
+				t.Fatalf("root %d: AnySat assignment does not satisfy", i)
+			}
+		}
+	}
+}
+
+// TestCompiledEvalBatchPaths checks the sweep and walk paths agree: a
+// sub-threshold batch takes the per-assignment walk, a large batch the
+// bit-parallel sweep, and a non-multiple-of-64 batch exercises the
+// partial last word.
+func TestCompiledEvalBatchPaths(t *testing.T) {
+	const numVars = 9
+	m, fns := buildMix(t, numVars, 5, 7)
+	defer m.Close()
+	cf, err := m.Compile(fns...)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	batch := make([][]bool, 197) // sweep path, ragged final word
+	for i := range batch {
+		batch[i] = assignmentOf(rng.Uint64(), numVars)
+	}
+	for i := range fns {
+		wide := cf.EvalBatch(i, batch)
+		for j, a := range batch {
+			if got := cf.Eval(i, a); got != wide[j] {
+				t.Fatalf("root %d assignment %d: sweep %v walk %v", i, j, wide[j], got)
+			}
+		}
+		narrow := cf.EvalBatch(i, batch[:4]) // below sweepMinBatch: walk path
+		for j := range narrow {
+			if narrow[j] != wide[j] {
+				t.Fatalf("root %d assignment %d: narrow %v wide %v", i, j, narrow[j], wide[j])
+			}
+		}
+	}
+}
+
+// TestCompiledCrossEngineBytes compiles the same functions on every
+// engine and requires byte-identical serialized artifacts — the export
+// order must be a pure function of the graph, not the engine that built
+// it.
+func TestCompiledCrossEngineBytes(t *testing.T) {
+	build := func(opts ...bfbdd.Option) []byte {
+		m, fns := buildMix(t, 8, 6, 1234, opts...)
+		defer m.Close()
+		cf, err := m.Compile(fns...)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := cf.Serialize(&buf); err != nil {
+			t.Fatalf("Serialize: %v", err)
+		}
+		return buf.Bytes()
+	}
+	ref := build(bfbdd.WithEngine(bfbdd.EngineDF))
+	for _, tc := range []struct {
+		name string
+		opts []bfbdd.Option
+	}{
+		{"bf", []bfbdd.Option{bfbdd.WithEngine(bfbdd.EngineBF)}},
+		{"hybrid", []bfbdd.Option{bfbdd.WithEngine(bfbdd.EngineHybrid)}},
+		{"pbf", []bfbdd.Option{bfbdd.WithEngine(bfbdd.EnginePBF)}},
+		{"par2", []bfbdd.Option{bfbdd.WithEngine(bfbdd.EnginePar), bfbdd.WithWorkers(2)}},
+	} {
+		if got := build(tc.opts...); !bytes.Equal(got, ref) {
+			t.Fatalf("engine %s: serialized artifact differs from df (%d vs %d bytes)",
+				tc.name, len(got), len(ref))
+		}
+	}
+}
+
+// TestCompiledRoundTrip proves Serialize/Load (both encodings) preserve
+// every answer, and that artifacts outlive their manager.
+func TestCompiledRoundTrip(t *testing.T) {
+	const numVars = 8
+	m, fns := buildMix(t, numVars, 6, 5150)
+	cf, err := m.Compile(fns...)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	type expected struct {
+		values []bool
+		count  string
+	}
+	all := make([][]bool, 1<<numVars)
+	for mask := range all {
+		all[mask] = assignmentOf(uint64(mask), numVars)
+	}
+	want := make([]expected, len(fns))
+	for i := range fns {
+		want[i] = expected{values: cf.EvalBatch(i, all), count: cf.SatCount(i).String()}
+	}
+	var delta, raw bytes.Buffer
+	if err := cf.Serialize(&delta); err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	if err := cf.SerializeRaw(&raw); err != nil {
+		t.Fatalf("SerializeRaw: %v", err)
+	}
+	if delta.Len() > raw.Len() {
+		t.Errorf("delta encoding (%d bytes) larger than raw (%d bytes)", delta.Len(), raw.Len())
+	}
+	m.Close() // the artifact must not care
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{{"delta", delta.Bytes()}, {"raw", raw.Bytes()}} {
+		lf, err := bfbdd.LoadCompiled(bytes.NewReader(tc.data))
+		if err != nil {
+			t.Fatalf("%s: Load: %v", tc.name, err)
+		}
+		if lf.NumVars() != cf.NumVars() || lf.NumNodes() != cf.NumNodes() {
+			t.Fatalf("%s: shape drifted", tc.name)
+		}
+		for i := range want {
+			got := lf.EvalBatch(i, all)
+			for mask := range all {
+				if got[mask] != want[i].values[mask] {
+					t.Fatalf("%s root %d mask %d: %v want %v",
+						tc.name, i, mask, got[mask], want[i].values[mask])
+				}
+			}
+			if s := lf.SatCount(i).String(); s != want[i].count {
+				t.Fatalf("%s root %d: SatCount %s want %s", tc.name, i, s, want[i].count)
+			}
+		}
+		// A reloaded artifact must re-serialize to the same bytes.
+		var again bytes.Buffer
+		if err := lf.Serialize(&again); err != nil {
+			t.Fatalf("%s: re-serialize: %v", tc.name, err)
+		}
+		if !bytes.Equal(again.Bytes(), delta.Bytes()) {
+			t.Fatalf("%s: re-serialized bytes differ", tc.name)
+		}
+	}
+}
+
+// TestCompiledRootIDs checks caller-chosen IDs survive compile and
+// serialization, and terminal roots are representable.
+func TestCompiledRootIDs(t *testing.T) {
+	m := bfbdd.New(4)
+	defer m.Close()
+	f := m.Var(0).And(m.Var(2))
+	cf, err := m.CompileRoots([]bfbdd.SnapshotRoot{
+		{ID: 77, B: f}, {ID: 5, B: m.Zero()}, {ID: 9000, B: m.One()},
+	})
+	if err != nil {
+		t.Fatalf("CompileRoots: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := cf.Serialize(&buf); err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	lf, err := bfbdd.LoadCompiled(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	ids := lf.RootIDs()
+	if len(ids) != 3 || ids[0] != 77 || ids[1] != 5 || ids[2] != 9000 {
+		t.Fatalf("RootIDs: %v", ids)
+	}
+	if i, ok := lf.RootByID(9000); !ok || i != 2 {
+		t.Fatalf("RootByID(9000): %d %v", i, ok)
+	}
+	if _, ok := lf.RootByID(1); ok {
+		t.Fatal("RootByID(1) should not exist")
+	}
+	a := make([]bool, 4)
+	if got := lf.Eval(1, a); got {
+		t.Fatal("zero root evaluated true")
+	}
+	if got := lf.Eval(2, a); !got {
+		t.Fatal("one root evaluated false")
+	}
+	if lf.SatCount(2).String() != "16" {
+		t.Fatalf("one root satcount: %v", lf.SatCount(2))
+	}
+}
+
+// TestCompiledErrors covers the misuse surface: nil and foreign roots
+// are errors, out-of-range roots and bad assignment lengths panic with
+// the bfbdd prefix (the server's panic firewall maps those to 400).
+func TestCompiledErrors(t *testing.T) {
+	m := bfbdd.New(4)
+	defer m.Close()
+	other := bfbdd.New(4)
+	defer other.Close()
+
+	if _, err := m.CompileRoots([]bfbdd.SnapshotRoot{{ID: 0, B: nil}}); err == nil {
+		t.Fatal("nil root accepted")
+	}
+	if _, err := m.CompileRoots([]bfbdd.SnapshotRoot{{ID: 0, B: other.Var(1)}}); err == nil {
+		t.Fatal("foreign root accepted")
+	}
+	cf, err := m.Compile(m.Var(0))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			if s, ok := r.(string); !ok || !strings.HasPrefix(s, "bfbdd:") {
+				t.Fatalf("%s: panic %v lacks bfbdd prefix", name, r)
+			}
+		}()
+		fn()
+	}
+	mustPanic("root range", func() { cf.Eval(1, make([]bool, 4)) })
+	mustPanic("neg root", func() { cf.Eval(-1, make([]bool, 4)) })
+	mustPanic("assignment len", func() { cf.Eval(0, make([]bool, 3)) })
+	mustPanic("batch assignment len", func() { cf.EvalBatch(0, [][]bool{make([]bool, 5)}) })
+	mustPanic("satcount root", func() { cf.SatCount(9) })
+}

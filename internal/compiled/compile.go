@@ -1,0 +1,97 @@
+package compiled
+
+import (
+	"fmt"
+
+	"bfbdd/internal/core"
+	"bfbdd/internal/node"
+)
+
+// Compile freezes the subgraph reachable from roots into an immutable
+// Func. The kernel is only read — Compile must be serialized against
+// mutation exactly like snapshotting (the server runs it on the session
+// executor) — and the resulting Func holds no reference to the kernel,
+// so it remains valid after the kernel is GC'd, reordered, or closed.
+//
+// var2level is the manager's variable order (entry v = level of public
+// variable v). Because the node order comes from Kernel.LevelMajorOrder,
+// compiling the same functions under the same order on any engine yields
+// byte-identical artifacts.
+func Compile(k *core.Kernel, var2level []int, roots []Root) (*Func, error) {
+	L := k.Levels()
+	if len(var2level) != L {
+		return nil, fmt.Errorf("compiled: var2level has %d entries for %d levels", len(var2level), L)
+	}
+	level2var := make([]int, L)
+	seen := make([]bool, L)
+	for v, l := range var2level {
+		if l < 0 || l >= L || seen[l] {
+			return nil, fmt.Errorf("compiled: variable order is not a permutation of [0,%d)", L)
+		}
+		level2var[l] = v
+		seen[l] = true
+	}
+	refs := make([]node.Ref, len(roots))
+	for i, rt := range roots {
+		if !rt.Ref.Valid() {
+			return nil, fmt.Errorf("compiled: root %d has invalid ref %v", i, rt.Ref)
+		}
+		refs[i] = rt.Ref
+	}
+	order, err := k.LevelMajorOrder(refs)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(order)) > maxNodes {
+		return nil, fmt.Errorf("%w: %d nodes", ErrTooLarge, len(order))
+	}
+
+	idx := make(map[node.Ref]uint32, len(order))
+	for i, r := range order {
+		idx[r] = uint32(i)
+	}
+	child := func(c node.Ref) uint32 {
+		switch {
+		case c.IsZero():
+			return termZero
+		case c.IsOne():
+			return termOne
+		default:
+			return idx[c]
+		}
+	}
+
+	st := k.Store()
+	nodes := make([]packed, len(order))
+	var segs []segment
+	for i, r := range order {
+		lvl := r.Level()
+		if len(segs) == 0 || segs[len(segs)-1].level != lvl {
+			if len(segs) > 0 {
+				segs[len(segs)-1].end = uint32(i)
+			}
+			segs = append(segs, segment{level: lvl, varIdx: level2var[lvl], start: uint32(i)})
+		}
+		nd := st.Node(r)
+		nodes[i] = packed{lo: child(nd.Low), hi: child(nd.High)}
+	}
+	if len(segs) > 0 {
+		segs[len(segs)-1].end = uint32(len(nodes))
+	}
+
+	frs := make([]funcRoot, len(roots))
+	for i, rt := range roots {
+		frs[i] = funcRoot{id: rt.ID, node: child(rt.Ref)}
+	}
+
+	f := &Func{
+		numVars:   L,
+		nodes:     nodes,
+		segs:      segs,
+		roots:     frs,
+		var2level: append([]int(nil), var2level...),
+		level2var: level2var,
+	}
+	f.buildVarOf()
+	return f, nil
+}

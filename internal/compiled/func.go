@@ -1,0 +1,480 @@
+package compiled
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Func is an immutable compiled function artifact: a flat, level-major
+// packed node array plus its per-level segment table, variable order, and
+// labeled roots. All methods are safe for unlimited concurrent use; none
+// mutates the receiver (EvalBatch's sweep scratch comes from an internal
+// pool and is self-cleaning).
+type Func struct {
+	numVars   int
+	nodes     []packed  // level-major, top-down; children point forward
+	segs      []segment // ascending level order, tiling [0, len(nodes))
+	varOf     []uint16  // per-node variable index; see buildVarOf
+	roots     []funcRoot
+	var2level []int
+	level2var []int
+	scratch   sync.Pool // *[]uint64, len(nodes), zeroed between uses
+}
+
+// buildVarOf precomputes the per-node variable table that the eval walks
+// index instead of scanning the segment table per step. In-memory only —
+// never part of the wire format — and rebuilt by both Compile and Load.
+// Left nil when the variable count does not fit uint16; consumers fall
+// back to the segment cursor.
+func (f *Func) buildVarOf() {
+	if f.numVars > 1<<16-1 {
+		return
+	}
+	v := make([]uint16, len(f.nodes))
+	for _, s := range f.segs {
+		for i := s.start; i < s.end; i++ {
+			v[i] = uint16(s.varIdx)
+		}
+	}
+	f.varOf = v
+}
+
+// NumVars returns the artifact's variable count.
+func (f *Func) NumVars() int { return f.numVars }
+
+// NumNodes returns the number of packed (non-terminal) nodes.
+func (f *Func) NumNodes() int { return len(f.nodes) }
+
+// NumRoots returns the number of labeled roots.
+func (f *Func) NumRoots() int { return len(f.roots) }
+
+// RootIDs returns the labels of the artifact's roots, in root order.
+func (f *Func) RootIDs() []uint64 {
+	ids := make([]uint64, len(f.roots))
+	for i, rt := range f.roots {
+		ids[i] = rt.id
+	}
+	return ids
+}
+
+// RootByID returns the root index carrying the given ID (the first, if
+// IDs repeat) and whether one exists.
+func (f *Func) RootByID(id uint64) (int, bool) {
+	for i, rt := range f.roots {
+		if rt.id == id {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Var2Level returns a copy of the artifact's variable order: entry v is
+// the level of public variable v.
+func (f *Func) Var2Level() []int {
+	return append([]int(nil), f.var2level...)
+}
+
+// RootSize returns the number of nodes reachable from root — the
+// artifact may pack several roots sharing structure, so this can be less
+// than NumNodes.
+func (f *Func) RootSize(root int) int {
+	f.checkRoot(root)
+	r := f.roots[root].node
+	if r >= termOne {
+		return 0
+	}
+	reach := make([]bool, len(f.nodes))
+	reach[r] = true
+	n := 0
+	for i := int(r); i < len(f.nodes); i++ {
+		if !reach[i] {
+			continue
+		}
+		n++
+		if c := f.nodes[i].lo; c < termOne {
+			reach[c] = true
+		}
+		if c := f.nodes[i].hi; c < termOne {
+			reach[c] = true
+		}
+	}
+	return n
+}
+
+// MemBytes returns the approximate resident size of the artifact, used
+// by the server's artifact byte pool.
+func (f *Func) MemBytes() int64 {
+	return int64(len(f.nodes))*8 +
+		int64(len(f.varOf))*2 +
+		int64(len(f.segs))*32 +
+		int64(len(f.roots))*16 +
+		int64(len(f.var2level)+len(f.level2var))*8 + 128
+}
+
+func (f *Func) checkRoot(root int) {
+	if root < 0 || root >= len(f.roots) {
+		panic("bfbdd: compiled root index out of range")
+	}
+}
+
+func (f *Func) checkAssignment(a []bool) {
+	if len(a) != f.numVars {
+		panic("bfbdd: assignment length does not match variable count")
+	}
+}
+
+// segOf returns the index of the segment containing stream index i,
+// starting the scan at hint (which must be ≤ the true segment index).
+func (f *Func) segOf(i uint32, hint int) int {
+	for i >= f.segs[hint].end {
+		hint++
+	}
+	return hint
+}
+
+// Eval evaluates root under the given assignment (indexed by public
+// variable). It allocates nothing: the walk follows forward indices
+// through the flat array, one cache line candidate per step, advancing a
+// monotone segment cursor to find each node's variable. It panics, like
+// BDD.Eval, if the assignment length is wrong or root is out of range.
+func (f *Func) Eval(root int, assignment []bool) bool {
+	f.checkRoot(root)
+	f.checkAssignment(assignment)
+	return f.evalFrom(f.roots[root].node, assignment)
+}
+
+func (f *Func) evalFrom(c uint32, assignment []bool) bool {
+	if vo := f.varOf; vo != nil {
+		for c < termOne {
+			nd := f.nodes[c]
+			var b uint32
+			if assignment[vo[c]] {
+				b = 1
+			}
+			// Branchless select: on random assignments the hi/lo branch
+			// is a coin flip, and the mispredict costs more than the
+			// blend.
+			c = nd.lo ^ ((nd.lo ^ nd.hi) & -b)
+		}
+		return c == termOne
+	}
+	si := 0
+	for c < termOne {
+		si = f.segOf(c, si)
+		nd := f.nodes[c]
+		var b uint32
+		if assignment[f.segs[si].varIdx] {
+			b = 1
+		}
+		c = nd.lo ^ ((nd.lo ^ nd.hi) & -b)
+	}
+	return c == termOne
+}
+
+// Sweep-vs-walk crossover. The top-down sweep touches every node at or
+// after the root once per 64 assignments — bandwidth-bound, sequential —
+// while the per-assignment walk costs ~depth dependent loads each —
+// latency-bound. The sweep wins when the graph is small enough that
+// O(nodes)/64 beats O(depth), i.e. when nodes ≲ 64·depth·(miss ratio);
+// 128·numVars is a conservative proxy that keeps the sweep on graphs
+// that fit cache-resident scratch.
+const sweepMinBatch = 16
+
+func (f *Func) sweepMaxNodes() int { return 128 * f.numVars }
+
+// EvalBatch evaluates root under every assignment and returns one result
+// per assignment, in order. For batches of at least sweepMinBatch on
+// graphs within the sweep threshold it uses a single top-down level
+// sweep per 64-assignment group: each live node holds a bitmask of the
+// assignments currently at it; the mask is split by the node's variable
+// word and pushed to the children, so a group costs one pass over the
+// reachable array regardless of batch width. Batches on larger graphs
+// run the lockstep lane walk (several assignments advance side by side —
+// see evalWalkLanes), and tiny batches fall back to the pointer walk per
+// assignment. All paths are exact, so answers are byte-identical
+// regardless of which path runs.
+func (f *Func) EvalBatch(root int, assignments [][]bool) []bool {
+	f.checkRoot(root)
+	for _, a := range assignments {
+		f.checkAssignment(a)
+	}
+	out := make([]bool, len(assignments))
+	r := f.roots[root].node
+	if r >= termOne {
+		if r == termOne {
+			for i := range out {
+				out[i] = true
+			}
+		}
+		return out
+	}
+	if len(assignments) >= sweepMinBatch {
+		if len(f.nodes) <= f.sweepMaxNodes() {
+			f.evalSweep(r, assignments, out)
+		} else if f.varOf != nil {
+			f.evalWalkLanes(r, assignments, out)
+		} else {
+			for i, a := range assignments {
+				out[i] = f.evalFrom(r, a)
+			}
+		}
+		return out
+	}
+	for i, a := range assignments {
+		out[i] = f.evalFrom(r, a)
+	}
+	return out
+}
+
+// evalWalkLanes walks four assignments through the packed array in
+// lockstep. A single depth walk is a serialized chain of dependent
+// loads — each step's address comes from the previous load — so on
+// graphs too large for the bit-parallel sweep it is bound by cache
+// latency, not bandwidth or compute. Interleaving independent walks
+// gives the CPU several chains to overlap, hiding most of that latency.
+// The per-node varOf table supplies each step's variable with one
+// indexed load instead of a segment-cursor scan, and the hi/lo select
+// is the same branchless blend as evalFrom. Lanes that reach a terminal
+// idle behind a predictable guard until the slowest lane finishes;
+// children point strictly forward (a Load invariant), so every lane
+// terminates even on hostile-but-valid artifacts. The lane bodies are
+// spelled out because the compiler does not unroll loops, and keeping
+// each lane's cursor and row in registers is the point.
+func (f *Func) evalWalkLanes(root uint32, assignments [][]bool, out []bool) {
+	nodes, vo := f.nodes, f.varOf
+	n := len(assignments)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		a0, a1, a2, a3 := assignments[i], assignments[i+1], assignments[i+2], assignments[i+3]
+		c0, c1, c2, c3 := root, root, root, root
+		for c0 < termOne || c1 < termOne || c2 < termOne || c3 < termOne {
+			if c0 < termOne {
+				nd := nodes[c0]
+				var b uint32
+				if a0[vo[c0]] {
+					b = 1
+				}
+				c0 = nd.lo ^ ((nd.lo ^ nd.hi) & -b)
+			}
+			if c1 < termOne {
+				nd := nodes[c1]
+				var b uint32
+				if a1[vo[c1]] {
+					b = 1
+				}
+				c1 = nd.lo ^ ((nd.lo ^ nd.hi) & -b)
+			}
+			if c2 < termOne {
+				nd := nodes[c2]
+				var b uint32
+				if a2[vo[c2]] {
+					b = 1
+				}
+				c2 = nd.lo ^ ((nd.lo ^ nd.hi) & -b)
+			}
+			if c3 < termOne {
+				nd := nodes[c3]
+				var b uint32
+				if a3[vo[c3]] {
+					b = 1
+				}
+				c3 = nd.lo ^ ((nd.lo ^ nd.hi) & -b)
+			}
+		}
+		out[i] = c0 == termOne
+		out[i+1] = c1 == termOne
+		out[i+2] = c2 == termOne
+		out[i+3] = c3 == termOne
+	}
+	for ; i < n; i++ {
+		out[i] = f.evalFrom(root, assignments[i])
+	}
+}
+
+func (f *Func) getScratch() []uint64 {
+	if v := f.scratch.Get(); v != nil {
+		return *(v.(*[]uint64))
+	}
+	return make([]uint64, len(f.nodes))
+}
+
+func (f *Func) putScratch(s []uint64) {
+	f.scratch.Put(&s)
+}
+
+// evalSweep is the bit-parallel path: 64 assignments per uint64 word.
+// scratch[i] is the set of in-flight assignments whose walk is currently
+// at node i. Processing indices in ascending order visits every node a
+// mask was pushed to (children are strictly forward), and each visit
+// clears its mask — so scratch returns to all-zero by the end of each
+// group and can be pooled without an O(n) wipe.
+func (f *Func) evalSweep(root uint32, assignments [][]bool, out []bool) {
+	scratch := f.getScratch()
+	defer f.putScratch(scratch)
+	vw := make([]uint64, f.numVars)
+	rootSeg := f.segOf(root, 0)
+	for g := 0; g < len(assignments); g += 64 {
+		n := min(64, len(assignments)-g)
+		full := ^uint64(0)
+		if n < 64 {
+			full = 1<<uint(n) - 1
+		}
+		for v := range vw {
+			vw[v] = 0
+		}
+		for j := 0; j < n; j++ {
+			for v, b := range assignments[g+j] {
+				if b {
+					vw[v] |= 1 << uint(j)
+				}
+			}
+		}
+		var ones uint64
+		scratch[root] = full
+		si := rootSeg
+		for i := root; i < uint32(len(f.nodes)); i++ {
+			m := scratch[i]
+			if m == 0 {
+				continue
+			}
+			scratch[i] = 0
+			si = f.segOf(i, si)
+			hiM := m & vw[f.segs[si].varIdx]
+			loM := m &^ hiM
+			nd := f.nodes[i]
+			if loM != 0 {
+				switch nd.lo {
+				case termOne:
+					ones |= loM
+				case termZero:
+				default:
+					scratch[nd.lo] |= loM
+				}
+			}
+			if hiM != 0 {
+				switch nd.hi {
+				case termOne:
+					ones |= hiM
+				case termZero:
+				default:
+					scratch[nd.hi] |= hiM
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			out[g+j] = ones>>uint(j)&1 == 1
+		}
+	}
+}
+
+// SatCount returns the number of satisfying assignments of root over all
+// NumVars variables, matching Manager.SatCount exactly. One bottom-up
+// pass over the packed array: a node at level l counts
+// cnt(lo)·2^(lvl(lo)−l−1) + cnt(hi)·2^(lvl(hi)−l−1) with terminal
+// children at pseudo-level NumVars, and the root's count is scaled by
+// 2^rootLevel for the variables decided above it.
+func (f *Func) SatCount(root int) *big.Int {
+	f.checkRoot(root)
+	r := f.roots[root].node
+	if r == termZero {
+		return new(big.Int)
+	}
+	if r == termOne {
+		return new(big.Int).Lsh(big.NewInt(1), uint(f.numVars))
+	}
+	lvl := f.levelTable()
+	one := big.NewInt(1)
+	counts := make([]big.Int, len(f.nodes))
+	childCount := func(c uint32) *big.Int {
+		switch c {
+		case termZero:
+			return nil
+		case termOne:
+			return one
+		default:
+			return &counts[c]
+		}
+	}
+	childLevel := func(c uint32) int {
+		if c >= termOne {
+			return f.numVars
+		}
+		return int(lvl[c])
+	}
+	for si := len(f.segs) - 1; si >= 0; si-- {
+		s := f.segs[si]
+		for i := int(s.end) - 1; i >= int(s.start); i-- {
+			nd := f.nodes[i]
+			var sum big.Int
+			if c := childCount(nd.lo); c != nil {
+				sum.Lsh(c, uint(childLevel(nd.lo)-s.level-1))
+			}
+			if c := childCount(nd.hi); c != nil {
+				var t big.Int
+				t.Lsh(c, uint(childLevel(nd.hi)-s.level-1))
+				sum.Add(&sum, &t)
+			}
+			counts[i] = sum
+		}
+	}
+	return new(big.Int).Lsh(&counts[r], uint(lvl[r]))
+}
+
+// levelTable expands the segment table into a per-node level lookup.
+func (f *Func) levelTable() []int32 {
+	lvl := make([]int32, len(f.nodes))
+	for _, s := range f.segs {
+		for i := s.start; i < s.end; i++ {
+			lvl[i] = int32(s.level)
+		}
+	}
+	return lvl
+}
+
+// AnySat returns a satisfying assignment of root as a partial map keyed
+// by public variable index (variables absent from the map are don't-
+// cares), or ok=false when root is the constant Zero. Unlike a greedy
+// low-first walk, AnySat first computes per-node satisfiability bottom-up
+// and then descends only into satisfiable children, so it is exact even
+// for loaded artifacts that are valid but not fully reduced.
+func (f *Func) AnySat(root int) (map[int]bool, bool) {
+	f.checkRoot(root)
+	r := f.roots[root].node
+	if r == termZero {
+		return nil, false
+	}
+	assignment := make(map[int]bool)
+	if r == termOne {
+		return assignment, true
+	}
+	sat := make([]bool, len(f.nodes))
+	childSat := func(c uint32) bool {
+		switch c {
+		case termZero:
+			return false
+		case termOne:
+			return true
+		default:
+			return sat[c]
+		}
+	}
+	for i := len(f.nodes) - 1; i >= 0; i-- {
+		sat[i] = childSat(f.nodes[i].lo) || childSat(f.nodes[i].hi)
+	}
+	if !sat[r] {
+		return nil, false
+	}
+	si := 0
+	for c := r; c < termOne; {
+		si = f.segOf(c, si)
+		v := f.segs[si].varIdx
+		if childSat(f.nodes[c].lo) {
+			assignment[v] = false
+			c = f.nodes[c].lo
+		} else {
+			assignment[v] = true
+			c = f.nodes[c].hi
+		}
+	}
+	return assignment, true
+}

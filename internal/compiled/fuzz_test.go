@@ -1,0 +1,110 @@
+package compiled_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"bfbdd"
+	"bfbdd/internal/compiled"
+)
+
+// seedArtifacts builds a few valid compiled streams of different shapes
+// so the fuzzer starts from structurally interesting corpus entries.
+func seedArtifacts(f *testing.F) [][]byte {
+	f.Helper()
+	var out [][]byte
+
+	add := func(m *bfbdd.Manager, raw bool, roots ...*bfbdd.BDD) {
+		cf, err := m.Compile(roots...)
+		if err != nil {
+			f.Fatalf("seed compile: %v", err)
+		}
+		var buf bytes.Buffer
+		if raw {
+			err = cf.SerializeRaw(&buf)
+		} else {
+			err = cf.Serialize(&buf)
+		}
+		if err != nil {
+			f.Fatalf("seed serialize: %v", err)
+		}
+		out = append(out, buf.Bytes())
+		m.Close()
+	}
+
+	m := bfbdd.New(6)
+	add(m, false, m.Var(0).And(m.Var(3)).Or(m.Var(5).Not()))
+
+	m = bfbdd.New(4)
+	add(m, false) // no roots
+
+	m = bfbdd.New(3)
+	add(m, false, m.Zero(), m.One()) // terminal-only roots
+
+	m = bfbdd.New(8)
+	add(m, true, m.Var(1).Xor(m.Var(6)).Implies(m.Var(2))) // raw refs
+	return out
+}
+
+// FuzzCompiledLoad feeds arbitrary bytes through compiled.Load. It must
+// never panic and never allocate proportionally to hostile length
+// claims; failures must be one of the package's typed errors. When a
+// stream does decode, the resulting Func must be safely evaluable and
+// must survive a serialize/reload cycle with identical answers.
+func FuzzCompiledLoad(f *testing.F) {
+	for _, s := range seedArtifacts(f) {
+		f.Add(s)
+	}
+	f.Add([]byte(compiled.Magic))
+	f.Add([]byte{})
+
+	typed := []error{
+		compiled.ErrBadMagic, compiled.ErrVersion, compiled.ErrChecksum,
+		compiled.ErrTruncated, compiled.ErrCorrupt, compiled.ErrTooLarge,
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fn, err := compiled.Load(bytes.NewReader(data))
+		if err != nil {
+			ok := false
+			for _, te := range typed {
+				if errors.Is(err, te) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("Load: untyped error %v", err)
+			}
+			return
+		}
+		// Whatever decoded must be safe to query. Bound the work: a valid
+		// header caps nodes, but numVars can still be large, so only probe
+		// with cheap assignments.
+		if fn.NumVars() > 1<<16 || fn.NumNodes() > 1<<22 {
+			return
+		}
+		a := make([]bool, fn.NumVars())
+		batch := [][]bool{a, a}
+		for root := 0; root < fn.NumRoots(); root++ {
+			v := fn.Eval(root, a)
+			if got := fn.EvalBatch(root, batch); got[0] != v || got[1] != v {
+				t.Fatalf("EvalBatch disagrees with Eval on root %d", root)
+			}
+			fn.AnySat(root)
+		}
+		var buf bytes.Buffer
+		if err := fn.Serialize(&buf); err != nil {
+			t.Fatalf("re-serialize decoded artifact: %v", err)
+		}
+		again, err := compiled.Load(&buf)
+		if err != nil {
+			t.Fatalf("reload re-serialized artifact: %v", err)
+		}
+		for root := 0; root < fn.NumRoots(); root++ {
+			if again.Eval(root, a) != fn.Eval(root, a) {
+				t.Fatalf("reload changed root %d", root)
+			}
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package compiled
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// synthLayered builds a valid in-memory Func bigger than the sweep
+// threshold: width nodes per variable, children drawn uniformly from
+// strictly deeper levels or the terminals, so walks skip levels at
+// irregular depths — the shape the lockstep lane walk has to get right.
+func synthLayered(numVars, width int, seed int64) *Func {
+	rng := rand.New(rand.NewSource(seed))
+	total := numVars * width
+	f := &Func{numVars: numVars}
+	f.nodes = make([]packed, total)
+	f.var2level = make([]int, numVars)
+	f.level2var = make([]int, numVars)
+	for v := 0; v < numVars; v++ {
+		f.var2level[v] = v
+		f.level2var[v] = v
+		start := uint32(v * width)
+		end := start + uint32(width)
+		f.segs = append(f.segs, segment{level: v, varIdx: v, start: start, end: end})
+		for i := start; i < end; i++ {
+			f.nodes[i] = packed{lo: synthChild(rng, int(end), total), hi: synthChild(rng, int(end), total)}
+		}
+	}
+	for r := 0; r < 8; r++ {
+		f.roots = append(f.roots, funcRoot{id: uint64(r), node: uint32(rng.Intn(width))})
+	}
+	f.buildVarOf()
+	return f
+}
+
+// synthChild picks a strictly forward child index or a terminal.
+func synthChild(rng *rand.Rand, segEnd, total int) uint32 {
+	if segEnd >= total || rng.Intn(4) == 0 {
+		if rng.Intn(2) == 0 {
+			return termZero
+		}
+		return termOne
+	}
+	return uint32(segEnd + rng.Intn(total-segEnd))
+}
+
+// TestWalkLanesMatchesSingleWalk drives the large-graph batch path —
+// too many nodes for the bit-parallel sweep, so EvalBatch dispatches to
+// evalWalkLanes — and requires byte-identical answers from the single
+// walk, on full lane groups, the ragged tail, and sub-lane remainders.
+func TestWalkLanesMatchesSingleWalk(t *testing.T) {
+	f := synthLayered(12, 400, 1)
+	if len(f.nodes) <= f.sweepMaxNodes() {
+		t.Fatalf("synthetic graph too small to exercise the lane path: %d <= %d",
+			len(f.nodes), f.sweepMaxNodes())
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{sweepMinBatch, 67, 256} {
+		batch := make([][]bool, n)
+		for i := range batch {
+			batch[i] = make([]bool, f.numVars)
+			for v := range batch[i] {
+				batch[i][v] = rng.Intn(2) == 1
+			}
+		}
+		for root := range f.roots {
+			got := f.EvalBatch(root, batch)
+			for j, a := range batch {
+				if want := f.Eval(root, a); got[j] != want {
+					t.Fatalf("root %d batch %d assignment %d: lanes %v single walk %v",
+						root, n, j, got[j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestWalkLanesNoVarOf pins the fallback: a Func whose variable count
+// is declared too wide for the uint16 table must still answer batches
+// through the per-assignment walk.
+func TestWalkLanesNoVarOf(t *testing.T) {
+	f := synthLayered(12, 400, 3)
+	f.varOf = nil // as if numVars did not fit uint16
+	rng := rand.New(rand.NewSource(4))
+	batch := make([][]bool, 64)
+	for i := range batch {
+		batch[i] = make([]bool, f.numVars)
+		for v := range batch[i] {
+			batch[i][v] = rng.Intn(2) == 1
+		}
+	}
+	got := f.EvalBatch(0, batch)
+	for j, a := range batch {
+		if want := f.Eval(0, a); got[j] != want {
+			t.Fatalf("assignment %d: batch %v single walk %v", j, got[j], want)
+		}
+	}
+}

@@ -260,6 +260,8 @@ func (ex *executor) step(i int, r OpRec) *Divergence {
 		return ex.execSnapshot(i)
 	case KAbort:
 		return ex.execAbort(i, r)
+	case KCompile:
+		return ex.execCompile(i, r)
 	}
 	return &Divergence{i, "run", "grammar", fmt.Sprintf("unknown op kind %d", int(r.Kind))}
 }
@@ -628,6 +630,112 @@ func (ex *executor) execAbort(i int, r OpRec) *Divergence {
 		}
 	}
 	return ex.checkSlot(i, a, r.Seed)
+}
+
+// compileExhaustiveVars bounds exhaustive EvalBatch verification: up to
+// this many variables every assignment row is checked; beyond it, 256
+// seeded rows per artifact.
+const compileExhaustiveVars = 10
+
+// execCompile freezes every engine's full slot set into a compiled
+// function artifact and cross-checks the frozen read path against both
+// oracles: the truth table (ground truth) and the live manager (the
+// write path the artifact was compiled from). Compilation renumbers
+// into the canonical level-major order, so the serialized artifact must
+// come out byte-identical on every engine, and the bytes must round-trip
+// through the hostile-hardened loader with identical answers.
+func (ex *executor) execCompile(i int, r OpRec) *Divergence {
+	vars := ex.seq.Vars
+	rowIdx := make([]int, 0, 1<<compileExhaustiveVars)
+	if vars <= compileExhaustiveVars {
+		for row := 0; row < 1<<vars; row++ {
+			rowIdx = append(rowIdx, row)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(r.Seed))
+		for k := 0; k < 256; k++ {
+			rowIdx = append(rowIdx, rng.Intn(1<<vars))
+		}
+	}
+	assigns := make([][]bool, len(rowIdx))
+	for j, row := range rowIdx {
+		assigns[j] = Assignment(vars, row)
+	}
+	var refBytes []byte
+	for _, st := range ex.engs {
+		roots := make([]bfbdd.SnapshotRoot, len(st.slots))
+		for j, b := range st.slots {
+			roots[j] = bfbdd.SnapshotRoot{ID: uint64(j), B: b}
+		}
+		fn, err := st.m.CompileRoots(roots)
+		if err != nil {
+			return &Divergence{i, st.spec.Name, "compile", "compile: " + err.Error()}
+		}
+		if d := ex.checkCompiled(i, st, fn, rowIdx, assigns, r.Seed); d != nil {
+			return d
+		}
+		var buf bytes.Buffer
+		if err := fn.Serialize(&buf); err != nil {
+			return &Divergence{i, st.spec.Name, "compile", "serialize: " + err.Error()}
+		}
+		if refBytes == nil {
+			refBytes = buf.Bytes()
+			fn2, err := bfbdd.LoadCompiled(bytes.NewReader(refBytes))
+			if err != nil {
+				return &Divergence{i, st.spec.Name, "compile-load", err.Error()}
+			}
+			if d := ex.checkCompiled(i, st, fn2, rowIdx, assigns, r.Seed); d != nil {
+				d.Check = "compile-load"
+				return d
+			}
+		} else if !bytes.Equal(buf.Bytes(), refBytes) {
+			return &Divergence{i, st.spec.Name, "compile-bytes",
+				fmt.Sprintf("artifact differs from %s (%d vs %d bytes)",
+					ex.engs[0].spec.Name, buf.Len(), len(refBytes))}
+		}
+	}
+	return nil
+}
+
+// checkCompiled verifies one artifact against every slot's truth table
+// (EvalBatch over rowIdx, SatCount) and spot-checks single-assignment
+// Eval against both the truth table and the live manager.
+func (ex *executor) checkCompiled(i int, st *engState, fn *bfbdd.CompiledFunc,
+	rowIdx []int, assigns [][]bool, seed int64) *Divergence {
+	vars := ex.seq.Vars
+	for s := range st.slots {
+		root, ok := fn.RootByID(uint64(s))
+		if !ok {
+			return &Divergence{i, st.spec.Name, "compile",
+				fmt.Sprintf("artifact lost root id %d", s)}
+		}
+		got := fn.EvalBatch(root, assigns)
+		for j, row := range rowIdx {
+			if got[j] != ex.truths[s].Bit(row) {
+				return &Divergence{i, st.spec.Name, "compile-evalbatch",
+					fmt.Sprintf("slot %d row %d: EvalBatch=%v truth=%v", s, row, got[j], ex.truths[s].Bit(row))}
+			}
+		}
+		rng := rand.New(rand.NewSource(seed ^ int64(s)))
+		for k := 0; k < 4; k++ {
+			row := rng.Intn(1 << vars)
+			asn := Assignment(vars, row)
+			cv := fn.Eval(root, asn)
+			if cv != ex.truths[s].Bit(row) {
+				return &Divergence{i, st.spec.Name, "compile-eval",
+					fmt.Sprintf("slot %d row %d: Eval=%v truth=%v", s, row, cv, ex.truths[s].Bit(row))}
+			}
+			if lv := st.slots[s].Eval(asn); lv != cv {
+				return &Divergence{i, st.spec.Name, "compile-live",
+					fmt.Sprintf("slot %d row %d: compiled=%v manager=%v", s, row, cv, lv)}
+			}
+		}
+		if got := fn.SatCount(root); got.Cmp(ex.truths[s].Count()) != 0 {
+			return &Divergence{i, st.spec.Name, "compile-satcount",
+				fmt.Sprintf("slot %d: SatCount=%v truth=%v", s, got, ex.truths[s].Count())}
+		}
+	}
+	return nil
 }
 
 func equalU64(a, b []uint64) bool {

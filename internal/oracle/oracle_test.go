@@ -117,6 +117,29 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+// TestCompileOp pins a sequence with an explicit compile op so the
+// compiled-artifact cross-check (read path vs truth table vs live
+// manager, byte-identical serialization across engines) runs even when
+// generated sequences happen not to draw one.
+func TestCompileOp(t *testing.T) {
+	seq := oracle.Sequence{
+		Vars: 6,
+		Ops: []oracle.OpRec{
+			{Kind: oracle.KApply, Op: oracle.OpAnd, A: 2, B: 3, Seed: 101},
+			{Kind: oracle.KApply, Op: oracle.OpXor, A: 4, B: 5, Seed: 102},
+			{Kind: oracle.KApply, Op: oracle.OpOr, A: 8, B: 9, Seed: 103},
+			{Kind: oracle.KNot, A: 10, Seed: 104},
+			{Kind: oracle.KCompile, Seed: 105},
+			{Kind: oracle.KReorder, A: 10, Seed: 106},
+			{Kind: oracle.KCompile, Seed: 107}, // again under a shuffled order
+		},
+	}
+	rep := oracle.Run(seq, oracle.DefaultEngines())
+	if rep.Div != nil {
+		t.Fatalf("%s\ntrace:\n%s", rep.Div, rep.Seq)
+	}
+}
+
 // TestRunVerdictDeterministic re-runs the same sequence and requires the
 // identical verdict string, the property replay verification rests on.
 func TestRunVerdictDeterministic(t *testing.T) {

@@ -73,12 +73,19 @@ const (
 	// ApplyCtx and a build under a deliberately tiny node budget — then
 	// re-verify slot A to prove the manager stayed usable. Checking.
 	KAbort
+	// KCompile: freeze every slot into a compiled function artifact on
+	// every engine, then cross-check the read path — Eval, EvalBatch,
+	// SatCount — against the truth table and the live manager, require
+	// the serialized artifact to be byte-identical across engines, and
+	// round-trip it through the hostile-hardened loader. Checking.
+	KCompile
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"apply", "not", "restrict", "exists", "forall", "circuit",
 	"meta", "eval", "anysat", "satcount", "gc", "reorder", "snapshot", "abort",
+	"compile",
 }
 
 // String returns the kind mnemonic.
@@ -138,6 +145,8 @@ func (r OpRec) String() string {
 		return "snapshot"
 	case KAbort:
 		return fmt.Sprintf("abort %s s%d s%d", r.Op, r.A, r.B)
+	case KCompile:
+		return fmt.Sprintf("compile seed%d", r.Seed)
 	}
 	return r.Kind.String()
 }
@@ -235,11 +244,13 @@ func Generate(cfg Config) Sequence {
 		case p < 93:
 			r.Kind = KGC
 			r.A = rng.Intn(slots)
-		case p < 96:
+		case p < 95:
 			r.Kind = KReorder
 			r.A = rng.Intn(slots)
-		case p < 98:
+		case p < 97:
 			r.Kind = KSnapshot
+		case p < 98:
+			r.Kind = KCompile
 		default:
 			r.Kind = KAbort
 			r.Op = core.Op(rng.Intn(numBinOps))

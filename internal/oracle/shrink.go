@@ -104,7 +104,7 @@ func (sh *shrinker) normalize(seq Sequence) Sequence {
 		case KCircuit:
 			r.A = (r.A-1)%seq.Vars + 1
 			r.Op, r.Var, r.Val, r.VarsMask = 0, 0, false, 0
-		case KSnapshot:
+		case KSnapshot, KCompile:
 			r.Op, r.A, r.B, r.Var, r.Val, r.VarsMask = 0, 0, 0, 0, false, 0
 		}
 		if r.producing() {
@@ -139,6 +139,7 @@ func (sh *shrinker) shrinkVars(seq Sequence) Sequence {
 var kindIdents = [numKinds]string{
 	"KApply", "KNot", "KRestrict", "KExists", "KForall", "KCircuit",
 	"KMeta", "KEval", "KAnySat", "KSatCount", "KGC", "KReorder", "KSnapshot", "KAbort",
+	"KCompile",
 }
 
 var opIdents = [numBinOps]string{

@@ -38,11 +38,13 @@ func errStatus(err error) int {
 	switch {
 	case errors.Is(err, errBadRequest), errors.Is(err, errNoHandle):
 		return http.StatusBadRequest
-	case errors.Is(err, errNoSession):
+	case errors.Is(err, errNoSession), errors.Is(err, errNoFunc):
 		return http.StatusNotFound
 	case errors.Is(err, errSessionClosing), errors.Is(err, errSessionExists),
-		errors.Is(err, errSessionPoisoned):
+		errors.Is(err, errSessionPoisoned), errors.Is(err, errFuncExists):
 		return http.StatusConflict
+	case errors.Is(err, errEvalTooLarge), errors.Is(err, errFuncPoolFull):
+		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, errTooManySessions), errors.Is(err, errQueueFull):
 		return http.StatusTooManyRequests
 	case errors.Is(err, errSessionClosed):
@@ -155,6 +157,13 @@ func (s *Server) routes(mux *http.ServeMux) {
 	handle("GET /v1/sessions/{sid}/stats", s.handleStats)
 	handle("GET /v1/sessions/{sid}/bdds/{handle}/dot", s.handleDOT)
 	handle("POST /v1/sessions/{sid}/snapshot", s.handleSnapshot)
+	handle("POST /v1/sessions/{sid}/publish", s.handlePublish)
+	handle("GET /v1/funcs", s.handleListFuncs)
+	handle("GET /v1/funcs/{fid}", s.handleGetFunc)
+	handle("GET /v1/funcs/{fid}/download", s.handleDownloadFunc)
+	handle("DELETE /v1/funcs/{fid}", s.handleDeleteFunc)
+	handle("POST /v1/funcs/{fid}/eval", s.handleEvalFunc)
+	handle("POST /v1/funcs/{fid}/query", s.handleQueryFunc)
 }
 
 // sessionOf resolves the {sid} path segment and touches the session's

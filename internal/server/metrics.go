@@ -66,8 +66,41 @@ type metrics struct {
 	rejectedInflight   atomic.Uint64
 	rejectedOverBudget atomic.Uint64
 
+	funcsPublished      atomic.Uint64
+	funcsRecovered      atomic.Uint64
+	funcReloadErrors    atomic.Uint64
+	funcBytesPublished  atomic.Uint64
+	funcEvalRequests    atomic.Uint64
+	funcEvalAssignments atomic.Uint64
+	funcBatchSizes      batchHistogram
+
 	mu     sync.Mutex
 	routes map[string]*routeStats
+}
+
+// batchSizeBuckets are the eval batch-size histogram bounds
+// (assignments per request).
+var batchSizeBuckets = [...]int{1, 4, 16, 64, 256, 1024, 4096}
+
+// batchHistogram is a fixed-bucket histogram of eval batch sizes; with
+// the per-route latency series it gives the artifact eval throughput
+// picture (assignments/request over time/request).
+type batchHistogram struct {
+	buckets [len(batchSizeBuckets) + 1]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+func (h *batchHistogram) observe(n int) {
+	h.count.Add(1)
+	h.sum.Add(uint64(n))
+	for i, ub := range batchSizeBuckets {
+		if n <= ub {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(batchSizeBuckets)].Add(1)
 }
 
 func newMetrics() *metrics {
@@ -151,9 +184,35 @@ func (s *Server) metricsHandler() http.Handler {
 		counter("bfbdd_http_rejected_total", "Requests rejected by the in-flight admission limit.", m.rejectedInflight.Load())
 		counter("bfbdd_http_rejected_over_budget_total", "Requests shed because the pool exceeded the global memory budget.", m.rejectedOverBudget.Load())
 
+		gauge("bfbdd_funcs_open", "Currently published compiled-function artifacts.", s.funcs.count.Load())
+		gauge("bfbdd_funcs_bytes", "Resident bytes of published artifacts (their own pool, outside session budgets).", s.funcs.total.Load())
+		counter("bfbdd_funcs_published_total", "Artifacts published since start.", m.funcsPublished.Load())
+		counter("bfbdd_funcs_recovered_total", "Artifacts reloaded from disk at startup.", m.funcsRecovered.Load())
+		counter("bfbdd_funcs_reload_errors_total", "Corrupt artifact files set aside at startup.", m.funcReloadErrors.Load())
+		counter("bfbdd_funcs_published_bytes_total", "Bytes of artifacts published since start.", m.funcBytesPublished.Load())
+		counter("bfbdd_func_eval_requests_total", "Artifact eval requests served.", m.funcEvalRequests.Load())
+		counter("bfbdd_func_eval_assignments_total", "Assignments evaluated across artifact eval requests.", m.funcEvalAssignments.Load())
+		s.writeFuncEvalHistogram(bw)
+
 		s.writeRouteMetrics(bw)
 		s.writeSessionMetrics(bw)
 	})
+}
+
+// writeFuncEvalHistogram exports the eval batch-size histogram.
+func (s *Server) writeFuncEvalHistogram(bw *bufio.Writer) {
+	h := &s.metrics.funcBatchSizes
+	fmt.Fprintf(bw, "# HELP bfbdd_func_eval_batch_size Assignments per artifact eval request.\n")
+	fmt.Fprintf(bw, "# TYPE bfbdd_func_eval_batch_size histogram\n")
+	var cum uint64
+	for i, ub := range batchSizeBuckets {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(bw, "bfbdd_func_eval_batch_size_bucket{le=\"%d\"} %d\n", ub, cum)
+	}
+	cum += h.buckets[len(batchSizeBuckets)].Load()
+	fmt.Fprintf(bw, "bfbdd_func_eval_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(bw, "bfbdd_func_eval_batch_size_sum %d\n", h.sum.Load())
+	fmt.Fprintf(bw, "bfbdd_func_eval_batch_size_count %d\n", h.count.Load())
 }
 
 func (s *Server) writeRouteMetrics(bw *bufio.Writer) {

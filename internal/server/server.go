@@ -83,6 +83,16 @@ type Config struct {
 	CheckpointInterval time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// MaxFuncBytes, when positive, caps the published-function artifact
+	// pool. Artifacts live in this pool, never in session budgets; a
+	// publish that would exceed it is refused with 413.
+	MaxFuncBytes int64
+	// MaxEvalBodyBytes bounds the request body of the artifact eval
+	// endpoint; oversized bodies are refused with 413.
+	MaxEvalBodyBytes int64
+	// MaxEvalBatch caps the assignments accepted per eval request; larger
+	// batches are refused with 413.
+	MaxEvalBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +126,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxSnapshotBytes <= 0 {
 		c.MaxSnapshotBytes = 1 << 30
 	}
+	if c.MaxEvalBodyBytes <= 0 {
+		c.MaxEvalBodyBytes = 4 << 20
+	}
+	if c.MaxEvalBatch <= 0 {
+		c.MaxEvalBatch = 8192
+	}
 	return c
 }
 
@@ -125,6 +141,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	reg     *registry
+	funcs   *funcRegistry
 	metrics *metrics
 	limits  *limits
 	ckpt    *checkpointer // nil unless cfg.CheckpointDir is set
@@ -146,9 +163,11 @@ func New(cfg Config) *Server {
 		metrics:     m,
 		limits:      newLimits(cfg, m),
 		reg:         newRegistry(cfg, m),
+		funcs:       newFuncRegistry(cfg, m),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	s.funcs.reload()
 	if cfg.CheckpointDir != "" {
 		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 			log.Printf("server: cannot create checkpoint dir %s: %v (persistence disabled)",
