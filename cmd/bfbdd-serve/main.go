@@ -8,9 +8,13 @@
 //	bfbdd-serve -addr :8707 -request-timeout 30s -pprof
 //
 // With -checkpoint-dir set, every live session is periodically
-// serialized there and recovered — same session ids, same handles — on
-// the next start, so a crash or restart loses at most one checkpoint
-// interval of work.
+// serialized there, every mutating operation is journaled to a
+// write-ahead log before it is acknowledged, and the next start recovers
+// each session — same session ids, same handles — as newest checkpoint
+// plus replayed WAL tail. Under -wal-sync=always an acknowledged
+// operation survives any crash; under the default -wal-sync=interval a
+// process crash (kill -9) still loses nothing and a power failure loses
+// at most one sync interval.
 //
 // Resource governance: -session-max-nodes / -session-max-bytes cap every
 // session's engine budget (builds degrade, then abort with 413 instead of
@@ -50,6 +54,8 @@ func main() {
 		queuePerSession = flag.Int("max-queued-per-session", 128, "per-session executor queue bound")
 		checkpointDir   = flag.String("checkpoint-dir", "", "directory for session checkpoints; empty disables persistence")
 		checkpointEvery = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint cadence (0 disables the loop; shutdown still checkpoints)")
+		walSync         = flag.String("wal-sync", "interval", "write-ahead-log durability: always (fsync per op), interval (fsync on a timer), none")
+		walSyncEvery    = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence under -wal-sync=interval")
 		maxTotalBytes   = flag.Int64("max-total-bytes", 0, "server-wide memory budget; allocating requests are shed with 429 while the pool is over it (0 = unlimited)")
 		sessionMaxNodes = flag.Uint64("session-max-nodes", 0, "per-session live-node budget cap; over-budget builds abort with 413 (0 = unlimited)")
 		sessionMaxBytes = flag.Uint64("session-max-bytes", 0, "per-session memory budget cap in bytes (0 = unlimited)")
@@ -74,6 +80,8 @@ func main() {
 		MaxQueuedPerSession: *queuePerSession,
 		CheckpointDir:       *checkpointDir,
 		CheckpointInterval:  *checkpointEvery,
+		WALSync:             *walSync,
+		WALSyncInterval:     *walSyncEvery,
 		MaxTotalBytes:       *maxTotalBytes,
 		SessionMaxNodes:     *sessionMaxNodes,
 		SessionMaxBytes:     *sessionMaxBytes,

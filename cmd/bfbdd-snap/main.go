@@ -5,9 +5,9 @@
 //	bfbdd-snap info file.snap     header, variable order, per-level node
 //	                              histogram, root table — without building
 //	                              a single BDD node
-//	bfbdd-snap verify file.snap   full restore into a fresh manager;
-//	                              reports the compaction effect and exits
-//	                              nonzero on any corruption
+//	bfbdd-snap verify file.snap   full restore into a fresh manager; one
+//	                              machine-readable verdict line on stdout,
+//	                              nonzero exit on any corruption
 //	bfbdd-snap repack -o out.snap [-raw] file.snap
 //	                              restore + re-snapshot: offline
 //	                              compaction (drops nothing live, but
@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -58,7 +59,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   bfbdd-snap info   file.snap            inspect header and per-level histogram
-  bfbdd-snap verify file.snap            full restore; nonzero exit on corruption
+  bfbdd-snap verify file.snap            full restore; JSON verdict, nonzero exit on corruption
   bfbdd-snap repack -o out.snap [-raw] file.snap
                                          rewrite via restore (offline compaction)
   bfbdd-snap dot    file.snap            deterministic DOT of the roots on stdout
@@ -146,20 +147,35 @@ func restoreFile(path string) (*bfbdd.Manager, []bfbdd.SnapshotRoot, error) {
 	return bfbdd.RestoreManager(f)
 }
 
+// snapVerdict is the one-line machine-readable verify result; CI gates
+// parse it, so the shape is append-only.
+type snapVerdict struct {
+	OK    bool   `json:"ok"`
+	File  string `json:"file"`
+	Vars  int    `json:"vars,omitempty"`
+	Roots int    `json:"roots,omitempty"`
+	Nodes uint64 `json:"nodes,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
 func runVerify(args []string) error {
 	path, err := oneFileArg(args, "verify")
 	if err != nil {
 		return err
 	}
+	v := snapVerdict{File: path}
 	m, roots, err := restoreFile(path)
 	if err != nil {
-		return err
+		v.Error = err.Error()
+	} else {
+		defer m.Close()
+		v.OK = true
+		v.Vars, v.Roots, v.Nodes = m.NumVars(), len(roots), m.NumNodes()
 	}
-	defer m.Close()
-	fmt.Printf("ok: %d vars, %d roots, %d live nodes after compaction\n",
-		m.NumVars(), len(roots), m.NumNodes())
-	for _, rt := range roots {
-		fmt.Printf("  id %-8d size %d\n", rt.ID, rt.B.Size())
+	out, _ := json.Marshal(v)
+	fmt.Println(string(out))
+	if !v.OK {
+		os.Exit(1)
 	}
 	return nil
 }

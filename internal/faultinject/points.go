@@ -19,6 +19,10 @@
 //	CheckpointWrite   server: buffered snapshot write/flush
 //	CheckpointSync    server: fsync of the staged snapshot
 //	CheckpointRename  server: rename-into-place commit step
+//	WALAppend         wal:    record append (before the frame write)
+//	WALSync           wal:    fsync of the active WAL segment
+//	WALRotate         wal:    opening a fresh segment at a checkpoint
+//	WALTruncate       wal:    deleting checkpoint-covered segments
 //
 // Error-injecting points (everything except the stalls) return a typed
 // *Error wrapping ErrInjected; engine call sites panic it into the
@@ -47,6 +51,10 @@ const (
 	CheckpointWrite
 	CheckpointSync
 	CheckpointRename
+	WALAppend
+	WALSync
+	WALRotate
+	WALTruncate
 	NumPoints
 )
 
@@ -61,6 +69,10 @@ var pointNames = [NumPoints]string{
 	"checkpoint-write",
 	"checkpoint-sync",
 	"checkpoint-rename",
+	"wal-append",
+	"wal-sync",
+	"wal-rotate",
+	"wal-truncate",
 }
 
 func (p Point) String() string {

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchServer is testServer for benchmarks: same wiring, b-flavored
+// cleanup.
+func benchServer(b *testing.B, cfg Config) (*Server, *httptest.Server) {
+	b.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Errorf("Shutdown: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+func benchPost(b *testing.B, url string, body string) map[string]any {
+	b.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		b.Fatalf("%s -> %d: %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+// BenchmarkServerApply measures the end-to-end latency of one /apply
+// round trip — the denominator for the WAL's durability-overhead
+// budget. The default/* variants run the server as deployed (2ms
+// coalesce window), which is the p50 apply latency a client actually
+// observes; the interval-policy delta there is the headline overhead
+// exported into BENCH_7.json. The raw/* variants floor the coalesce
+// window at 1ns to expose the journaling cost on the bare apply path,
+// without batching slack — a harsher, secondary number.
+func BenchmarkServerApply(b *testing.B) {
+	mk := func(window time.Duration, sync string) func(b *testing.B) Config {
+		return func(b *testing.B) Config {
+			cfg := Config{CoalesceWindow: window}
+			if sync != "" {
+				cfg.CheckpointDir = b.TempDir()
+				cfg.CheckpointInterval = -1
+				cfg.WALSync = sync
+			}
+			return cfg
+		}
+	}
+	variants := []struct {
+		name string
+		cfg  func(b *testing.B) Config
+	}{
+		{"default/wal=off", mk(0, "")},
+		{"default/wal=interval", mk(0, "interval")},
+		{"raw/wal=off", mk(time.Nanosecond, "")},
+		{"raw/wal=interval", mk(time.Nanosecond, "interval")},
+		{"raw/wal=always", mk(time.Nanosecond, "always")},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			_, ts := benchServer(b, v.cfg(b))
+			sout := benchPost(b, ts.URL+"/v1/sessions", `{"vars":16}`)
+			sid := sout["session"].(string)
+			s := ts.URL + "/v1/sessions/" + sid
+			var handles [8]uint64
+			for i := range handles {
+				hout := benchPost(b, s+"/vars", fmt.Sprintf(`{"index":%d}`, i))
+				handles[i] = uint64(hout["handle"].(float64))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := handles[i%len(handles)]
+				g := handles[(i+3)%len(handles)]
+				benchPost(b, s+"/apply", fmt.Sprintf(`{"op":"xor","f":%d,"g":%d}`, f, g))
+			}
+		})
+	}
+}

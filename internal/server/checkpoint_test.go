@@ -14,6 +14,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"bfbdd/internal/wal"
 )
 
 // TestSnapshotRestoreHTTP exercises the wire surface: build a function in
@@ -256,8 +258,7 @@ func TestCheckpointRemovedOnDelete(t *testing.T) {
 	srv.CheckpointNow()
 
 	exists := func(id string) bool {
-		_, err := os.Stat(filepath.Join(dir, id+snapSuffix))
-		return err == nil
+		return latestSnapshot(dir, id) != ""
 	}
 	if !exists(sessA.id) || !exists(sessB.id) {
 		t.Fatalf("checkpoints missing after CheckpointNow")
@@ -312,9 +313,9 @@ func TestCheckpointCannotResurrectClosedSession(t *testing.T) {
 	}
 	id := sess.id
 	srv.CheckpointNow()
-	snapPath := filepath.Join(dir, id+snapSuffix)
-	if _, err := os.Stat(snapPath); err != nil {
-		t.Fatalf("checkpoint missing after CheckpointNow: %v", err)
+	snapPath := latestSnapshot(dir, id)
+	if snapPath == "" {
+		t.Fatalf("checkpoint missing after CheckpointNow")
 	}
 
 	// Wedge the executor so close() blocks draining, holding the id in the
@@ -358,8 +359,15 @@ func TestCheckpointCannotResurrectClosedSession(t *testing.T) {
 	if err != nil {
 		t.Fatalf("read dir: %v", err)
 	}
-	if len(entries) != 0 {
-		t.Fatalf("checkpoint dir not clean after discarded checkpoint: %v", entries)
+	for _, e := range entries {
+		// The wal/ subdirectory persists (it holds other sessions' logs in
+		// general); the deleted session's own files must all be gone.
+		if e.Name() != "wal" {
+			t.Fatalf("checkpoint dir not clean after discarded checkpoint: %v", entries)
+		}
+	}
+	if segs, _ := os.ReadDir(filepath.Join(dir, "wal")); len(segs) != 0 {
+		t.Fatalf("deleted session's wal segments survived: %v", segs)
 	}
 }
 
@@ -377,8 +385,14 @@ func TestRecoverySurvivesCorruptCheckpoint(t *testing.T) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 
-	// Truncate a copy of the good checkpoint under a second id.
-	good, err := os.ReadFile(filepath.Join(dir, sess.id+snapSuffix))
+	// Truncate a copy of the good checkpoint under a second id, at the
+	// same snapshot sequence its meta sidecar records so the pair chains
+	// and recovery reaches the corrupt bytes themselves.
+	goodSnap := latestSnapshot(dir, sess.id)
+	if goodSnap == "" {
+		t.Fatal("no committed snapshot to corrupt")
+	}
+	good, err := os.ReadFile(goodSnap)
 	if err != nil {
 		t.Fatalf("read checkpoint: %v", err)
 	}
@@ -386,8 +400,14 @@ func TestRecoverySurvivesCorruptCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatalf("read meta: %v", err)
 	}
-	badID := "s-corrupted0000"
-	os.WriteFile(filepath.Join(dir, badID+snapSuffix), good[:len(good)/2], 0o644)
+	var mm struct {
+		WalBaseSeq uint64 `json:"wal_base_seq"`
+	}
+	if err := json.Unmarshal(meta, &mm); err != nil {
+		t.Fatalf("parse meta: %v", err)
+	}
+	badID := "s-c044c044c044c044"
+	os.WriteFile(filepath.Join(dir, wal.SnapshotName(badID, mm.WalBaseSeq)), good[:len(good)/2], 0o644)
 	os.WriteFile(filepath.Join(dir, badID+metaSuffix), meta, 0o644)
 	// And an orphaned temp file from a "crash mid-checkpoint".
 	os.WriteFile(filepath.Join(dir, ".s-x.tmp-123"), []byte("partial"), 0o644)

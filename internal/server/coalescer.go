@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bfbdd"
+	"bfbdd/internal/wal"
 )
 
 // applyResult carries one coalesced operation's outcome back to its
@@ -144,24 +145,64 @@ func (c *coalescer) runBatch(ctx context.Context, calls []*applyCall) {
 	if err != nil {
 		c.sess.noteFailure(err)
 		err = fmt.Errorf("batch build aborted: %w", err)
+		// A partially completed batch (budget abort, injected fault) still
+		// produced some results; their callers get real handles — which
+		// means those operations are acknowledged and must hit the journal
+		// first, as one commit group. If the journal refuses, every caller
+		// sees the failure and the puts are rolled back.
+		var recs []wal.ApplyRec
+		var kept []*bfbdd.BDD
+		var keptIdx []int
+		for i, b := range results {
+			if b == nil {
+				continue
+			}
+			h := c.sess.put(b)
+			recs = append(recs, wal.ApplyRec{Op: uint8(live[i].kind), F: live[i].f, G: live[i].g, Handle: h})
+			kept = append(kept, b)
+			keptIdx = append(keptIdx, i)
+		}
+		if jerr := journalApplies(c.sess, recs); jerr != nil {
+			for i := len(kept) - 1; i >= 0; i-- {
+				c.sess.unput(recs[i].Handle, kept[i])
+			}
+			for _, call := range live {
+				call.resp <- applyResult{err: jerr}
+			}
+			return
+		}
+		done := make(map[int]int, len(keptIdx)) // live index -> recs index
+		for ri, i := range keptIdx {
+			done[i] = ri
+		}
 		for i, call := range live {
-			// A partially completed batch (budget abort, injected fault)
-			// still produced some results; their callers get real handles,
-			// only the unfinished operations see the abort.
-			if results != nil && results[i] != nil {
-				b := results[i]
-				call.resp <- applyResult{handle: c.sess.put(b), nodes: b.Size()}
+			if ri, ok := done[i]; ok {
+				call.resp <- applyResult{handle: recs[ri].Handle, nodes: kept[ri].Size()}
 				continue
 			}
 			call.resp <- applyResult{err: err}
 		}
 		return
 	}
+	handles := make([]uint64, len(live))
+	recs := make([]wal.ApplyRec, len(live))
+	for i, call := range live {
+		handles[i] = c.sess.put(results[i])
+		recs[i] = wal.ApplyRec{Op: uint8(call.kind), F: call.f, G: call.g, Handle: handles[i]}
+	}
+	if jerr := journalApplies(c.sess, recs); jerr != nil {
+		for i := len(live) - 1; i >= 0; i-- {
+			c.sess.unput(handles[i], results[i])
+		}
+		for _, call := range live {
+			call.resp <- applyResult{err: jerr}
+		}
+		return
+	}
 	c.m.coalescedBatches.Add(1)
 	c.m.coalescedOps.Add(uint64(len(live)))
 	for i, call := range live {
-		b := results[i]
-		call.resp <- applyResult{handle: c.sess.put(b), nodes: b.Size()}
+		call.resp <- applyResult{handle: handles[i], nodes: results[i].Size()}
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"bfbdd"
+	"bfbdd/internal/wal"
 )
 
 // Published-function errors.
@@ -347,6 +348,10 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
+	// Audit record: the artifact has its own durable file, so the journal
+	// entry only documents provenance in the session's history — a failure
+	// must not unpublish what the artifact registry already committed.
+	_ = sess.journal(wal.PublishRec{Name: id, Handles: req.Handles})
 	s.metrics.funcBytesPublished.Add(uint64(a.bytes))
 	writeJSON(w, http.StatusCreated, a.info())
 }

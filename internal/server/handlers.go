@@ -3,9 +3,11 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net/http"
 	"slices"
@@ -15,6 +17,8 @@ import (
 
 	"bfbdd"
 	"bfbdd/internal/faultinject"
+	"bfbdd/internal/node"
+	"bfbdd/internal/wal"
 )
 
 // writeJSON writes v as the JSON response body.
@@ -192,6 +196,19 @@ func run(r *http.Request, sess *session, fn func(ctx context.Context) error) err
 	return err
 }
 
+// journalApplies journals a group of binary applies as one commit group:
+// a bare apply record for a single operation, one batch record otherwise.
+func journalApplies(sess *session, recs []wal.ApplyRec) error {
+	switch len(recs) {
+	case 0:
+		return nil
+	case 1:
+		return sess.journal(recs[0])
+	default:
+		return sess.journal(wal.BatchRec{Ops: recs})
+	}
+}
+
 // poolBytes sums the engine memory footprint of every live session from
 // the lock-free stats snapshots (a scrape-safe approximation: snapshots
 // refresh after each executor task).
@@ -287,6 +304,15 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("sid")
+	// Journal the close before tearing down: the normal path removes every
+	// durability file anyway, but a crash between this acknowledgment and
+	// the file removal leaves the WAL ending in a close record — recovery
+	// then finishes the deletion instead of resurrecting a session the
+	// client was told is gone. Best-effort by design: a broken log must not
+	// make a session undeletable.
+	if sess, err := s.reg.get(id); err == nil {
+		_ = sess.journal(wal.CloseRec{})
+	}
 	if err := s.reg.closeSession(id); err != nil {
 		fail(w, err)
 		return
@@ -328,7 +354,12 @@ func (s *Server) handleVar(w http.ResponseWriter, r *http.Request) {
 		} else {
 			b = sess.mgr.Var(req.Index)
 		}
-		resp = handleResp{Handle: sess.put(b), Nodes: b.Size()}
+		h := sess.put(b)
+		if err := sess.journal(wal.VarRec{Index: req.Index, Negated: req.Negated, Handle: h}); err != nil {
+			sess.unput(h, b)
+			return err
+		}
+		resp = handleResp{Handle: h, Nodes: b.Size()}
 		return nil
 	})
 	if err != nil {
@@ -362,7 +393,12 @@ func (s *Server) handleConst(w http.ResponseWriter, r *http.Request) {
 		} else {
 			b = sess.mgr.Zero()
 		}
-		resp = handleResp{Handle: sess.put(b)}
+		h := sess.put(b)
+		if err := sess.journal(wal.ConstRec{Value: req.Value, Handle: h}); err != nil {
+			sess.unput(h, b)
+			return err
+		}
+		resp = handleResp{Handle: h}
 		return nil
 	})
 	if err != nil {
@@ -468,18 +504,44 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		results, err := sess.mgr.ApplyBatchCtx(ctx, ops)
 		if err != nil {
+			// The operations that did finish are acknowledged as real
+			// handles, so they must be journaled like any success — as one
+			// commit group. If the journal refuses, nothing was acknowledged:
+			// roll the puts back (newest first, so handle numbering rewinds)
+			// and surface the journal error alone.
+			var recs []wal.ApplyRec
+			var kept []*bfbdd.BDD
 			for i, b := range results {
-				if b != nil {
-					completed = append(completed, completedOp{Index: i, Handle: sess.put(b), Nodes: b.Size()})
+				if b == nil {
+					continue
 				}
+				h := sess.put(b)
+				completed = append(completed, completedOp{Index: i, Handle: h, Nodes: b.Size()})
+				recs = append(recs, wal.ApplyRec{Op: uint8(kinds[i]), F: req.Ops[i].F, G: req.Ops[i].G, Handle: h})
+				kept = append(kept, b)
+			}
+			if jerr := journalApplies(sess, recs); jerr != nil {
+				for i := len(kept) - 1; i >= 0; i-- {
+					sess.unput(recs[i].Handle, kept[i])
+				}
+				completed = nil
+				return jerr
 			}
 			return err
 		}
 		resp.Handles = make([]uint64, len(results))
 		resp.Nodes = make([]int, len(results))
+		recs := make([]wal.ApplyRec, len(results))
 		for i, b := range results {
 			resp.Handles[i] = sess.put(b)
 			resp.Nodes[i] = b.Size()
+			recs[i] = wal.ApplyRec{Op: uint8(kinds[i]), F: req.Ops[i].F, G: req.Ops[i].G, Handle: resp.Handles[i]}
+		}
+		if jerr := journalApplies(sess, recs); jerr != nil {
+			for i := len(results) - 1; i >= 0; i-- {
+				sess.unput(resp.Handles[i], results[i])
+			}
+			return jerr
 		}
 		return nil
 	})
@@ -535,7 +597,12 @@ func (s *Server) handleITE(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		b := f.ITE(g, h)
-		resp = handleResp{Handle: sess.put(b), Nodes: b.Size()}
+		hn := sess.put(b)
+		if err := sess.journal(wal.ITERec{F: req.F, G: req.G, H: req.H, Handle: hn}); err != nil {
+			sess.unput(hn, b)
+			return err
+		}
+		resp = handleResp{Handle: hn, Nodes: b.Size()}
 		return nil
 	})
 	if err != nil {
@@ -568,7 +635,12 @@ func (s *Server) handleNot(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		b := f.Not()
-		resp = handleResp{Handle: sess.put(b), Nodes: b.Size()}
+		h := sess.put(b)
+		if err := sess.journal(wal.NotRec{F: req.F, Handle: h}); err != nil {
+			sess.unput(h, b)
+			return err
+		}
+		resp = handleResp{Handle: h, Nodes: b.Size()}
 		return nil
 	})
 	if err != nil {
@@ -612,7 +684,12 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 		} else {
 			b = f.Forall(req.Vars...)
 		}
-		resp = handleResp{Handle: sess.put(b), Nodes: b.Size()}
+		h := sess.put(b)
+		if err := sess.journal(wal.QuantifyRec{Forall: req.Kind == "forall", F: req.F, Vars: req.Vars, Handle: h}); err != nil {
+			sess.unput(h, b)
+			return err
+		}
+		resp = handleResp{Handle: h, Nodes: b.Size()}
 		return nil
 	})
 	if err != nil {
@@ -647,7 +724,12 @@ func (s *Server) handleRestrict(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		b := f.Restrict(req.Var, req.Value)
-		resp = handleResp{Handle: sess.put(b), Nodes: b.Size()}
+		h := sess.put(b)
+		if err := sess.journal(wal.RestrictRec{F: req.F, Var: req.Var, Value: req.Value, Handle: h}); err != nil {
+			sess.unput(h, b)
+			return err
+		}
+		resp = handleResp{Handle: h, Nodes: b.Size()}
 		return nil
 	})
 	if err != nil {
@@ -686,7 +768,12 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		b := f.Compose(req.Var, g)
-		resp = handleResp{Handle: sess.put(b), Nodes: b.Size()}
+		h := sess.put(b)
+		if err := sess.journal(wal.ComposeRec{F: req.F, G: req.G, Var: req.Var, Handle: h}); err != nil {
+			sess.unput(h, b)
+			return err
+		}
+		resp = handleResp{Handle: h, Nodes: b.Size()}
 		return nil
 	})
 	if err != nil {
@@ -711,6 +798,24 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 	}
 	var freed int
 	err = run(r, sess, func(context.Context) error {
+		// Validate the whole list before journaling anything: the free is
+		// acknowledged all-or-nothing, and its record must describe only
+		// frees that then actually happen (replay treats a missing handle
+		// as divergence). Duplicates in one request hit the seen-check the
+		// same way a double free across requests hits the handle table.
+		seen := make(map[uint64]struct{}, len(req.Handles))
+		for _, h := range req.Handles {
+			if _, err := sess.bdd(h); err != nil {
+				return err
+			}
+			if _, dup := seen[h]; dup {
+				return fmt.Errorf("%w: handle %d freed twice", errNoHandle, h)
+			}
+			seen[h] = struct{}{}
+		}
+		if err := sess.journal(wal.FreeRec{Handles: req.Handles}); err != nil {
+			return err
+		}
 		for _, h := range req.Handles {
 			if err := sess.free(h); err != nil {
 				return err
@@ -733,7 +838,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req struct {
-		Kind       string `json:"kind"` // size|satcount|anysat|eval|support|equal
+		Kind       string `json:"kind"` // size|satcount|anysat|eval|support|equal|signature
 		F          uint64 `json:"f"`
 		G          uint64 `json:"g,omitempty"`
 		Assignment []bool `json:"assignment,omitempty"`
@@ -778,6 +883,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				return err
 			}
 			resp = map[string]bool{"equal": f.Equal(g)}
+		case "signature":
+			// Order- and layout-independent structural fingerprint: the
+			// kernel's canonical signature hashed to one hex word. Two
+			// handles denote the same boolean function iff their signatures
+			// match, across sessions, processes, and crash recoveries — the
+			// equality oracle the crash-recovery harness checks survivors
+			// against.
+			sig := sess.mgr.Kernel().CanonicalSignature([]node.Ref{f.Ref()})
+			h := fnv.New64a()
+			var word [8]byte
+			for _, v := range sig {
+				binary.LittleEndian.PutUint64(word[:], v)
+				_, _ = h.Write(word[:])
+			}
+			resp = map[string]string{"signature": fmt.Sprintf("%016x", h.Sum64())}
 		default:
 			return fmt.Errorf("%w: unknown query kind %q", errBadRequest, req.Kind)
 		}
@@ -798,6 +918,13 @@ func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
 	}
 	var nodes uint64
 	err = run(r, sess, func(context.Context) error {
+		// Journal before collecting: a GC compaction rewrites node indices,
+		// so replay must run it at the same point in the operation stream to
+		// keep downstream structure identical. GC itself cannot fail, so
+		// journal-first never records a GC that didn't happen.
+		if err := sess.journal(wal.GCRec{}); err != nil {
+			return err
+		}
 		sess.mgr.GC()
 		nodes = sess.mgr.NumNodes()
 		return nil
@@ -896,7 +1023,13 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	var buf bytes.Buffer
 	err = run(r, sess, func(context.Context) error {
-		return sess.snapshotTo(&buf)
+		if err := sess.snapshotTo(&buf); err != nil {
+			return err
+		}
+		// Audit record only — it carries no session state, so a journal
+		// failure must not fail the export the client already has bytes for.
+		_ = sess.journal(wal.SnapshotRec{})
+		return nil
 	})
 	if err != nil {
 		fail(w, err)
@@ -932,7 +1065,7 @@ func (s *Server) handleRestoreSession(w http.ResponseWriter, r *http.Request) {
 		opts.Workers = n
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSnapshotBytes)
-	sess, err := s.reg.restore(q.Get("session"), opts, body)
+	sess, err := s.reg.restore(q.Get("session"), opts, body, true)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
@@ -941,6 +1074,19 @@ func (s *Server) handleRestoreSession(w http.ResponseWriter, r *http.Request) {
 		}
 		fail(w, err)
 		return
+	}
+	if s.ckpt != nil {
+		// The restored state exists only in memory and its fresh WAL holds
+		// no creation record to rebuild from, so the 201 below would be a
+		// durability lie until a checkpoint lands. Take one synchronously;
+		// if even the retried checkpoint fails, tear the session down and
+		// report the failure rather than acknowledge state a crash would
+		// silently lose.
+		if cerr := s.ckpt.checkpointWithRetry(sess); cerr != nil {
+			_ = s.reg.closeSession(sess.id)
+			fail(w, fmt.Errorf("restored session could not be persisted: %w", cerr))
+			return
+		}
 	}
 	handles := make([]uint64, 0, len(sess.handles))
 	// The session was just committed and has served nothing yet, but reads

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bfbdd/internal/wal"
 )
 
 // latencyBuckets are the per-route request-duration histogram bounds, in
@@ -73,6 +75,13 @@ type metrics struct {
 	funcEvalRequests    atomic.Uint64
 	funcEvalAssignments atomic.Uint64
 	funcBatchSizes      batchHistogram
+
+	// wal aggregates the write-ahead-log counters across every session's
+	// log (the wal package updates them directly; ChainRejects also from
+	// the recovery path).
+	wal wal.Counters
+	// walRecoveryNs is the wall time of the last startup recovery pass.
+	walRecoveryNs atomic.Int64
 
 	mu     sync.Mutex
 	routes map[string]*routeStats
@@ -193,6 +202,17 @@ func (s *Server) metricsHandler() http.Handler {
 		counter("bfbdd_func_eval_requests_total", "Artifact eval requests served.", m.funcEvalRequests.Load())
 		counter("bfbdd_func_eval_assignments_total", "Assignments evaluated across artifact eval requests.", m.funcEvalAssignments.Load())
 		s.writeFuncEvalHistogram(bw)
+
+		counter("bfbdd_wal_appended_records_total", "Records journaled to write-ahead logs.", m.wal.Appended.Load())
+		counter("bfbdd_wal_append_errors_total", "WAL append failures (the operation was refused).", m.wal.AppendErrors.Load())
+		counter("bfbdd_wal_fsyncs_total", "Explicit WAL fsyncs.", m.wal.Fsyncs.Load())
+		counter("bfbdd_wal_rotations_total", "WAL segment rotations at checkpoints.", m.wal.Rotations.Load())
+		counter("bfbdd_wal_segments_truncated_total", "Checkpoint-covered WAL segments deleted.", m.wal.Truncated.Load())
+		counter("bfbdd_wal_replayed_records_total", "Records replayed during startup recovery.", m.wal.Replayed.Load())
+		counter("bfbdd_wal_torn_tail_discards_total", "Half-written WAL tails discarded during recovery.", m.wal.TornTails.Load())
+		counter("bfbdd_wal_chain_rejects_total", "Recoveries refused because the checkpoint and WAL did not chain.", m.wal.ChainRejects.Load())
+		fmt.Fprintf(bw, "# HELP bfbdd_wal_recovery_seconds Wall time of the last startup recovery pass.\n# TYPE bfbdd_wal_recovery_seconds gauge\nbfbdd_wal_recovery_seconds %g\n",
+			float64(m.walRecoveryNs.Load())/1e9)
 
 		s.writeRouteMetrics(bw)
 		s.writeSessionMetrics(bw)

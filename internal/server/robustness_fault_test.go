@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"bfbdd/internal/faultinject"
+	"bfbdd/internal/wal"
 )
 
 // TestInjectedKernelPanicPoisonsSession is the containment acceptance
@@ -69,9 +70,11 @@ func TestInjectedKernelPanicPoisonsSession(t *testing.T) {
 // TestCheckpointCrashConsistency fails every stage of the checkpoint
 // write path in turn — temp creation, snapshot write, fsync, and each of
 // the two commit renames — and proves the invariant the staged-rename
-// protocol is designed for: no failure ever leaves a torn checkpoint. A
-// fresh server pointed at the directory always recovers the session from
-// the last fully committed snapshot.
+// protocol plus the write-ahead log are designed for: no failure ever
+// leaves a torn checkpoint, and no failure loses an acknowledged
+// operation. A fresh server pointed at (a copy of) the directory always
+// recovers the full mutated handle table: the committed snapshot plus
+// the journaled tail, no matter where the checkpoint died.
 func TestCheckpointCrashConsistency(t *testing.T) {
 	faultinject.Reset()
 	defer faultinject.Reset()
@@ -91,16 +94,19 @@ func TestCheckpointCrashConsistency(t *testing.T) {
 		t.Fatalf("get: %v", err)
 	}
 	srv.CheckpointNow()
-	if _, err := os.Stat(filepath.Join(dir, sid+snapSuffix)); err != nil {
-		t.Fatalf("baseline checkpoint missing: %v", err)
+	if latestSnapshot(dir, sid) == "" {
+		t.Fatalf("baseline checkpoint missing")
 	}
 
-	// recoveredHandles boots a fresh server process-equivalent on the
-	// checkpoint directory and reports the recovered session's handle
+	// recoveredHandles boots a fresh server process-equivalent on a COPY
+	// of the checkpoint directory (the original's WAL segments are still
+	// live in this process) and reports the recovered session's handle
 	// count, verifying every handle resolves to a live BDD.
 	recoveredHandles := func(t *testing.T) int {
 		t.Helper()
-		srv2 := New(cfg)
+		cfg2 := cfg
+		cfg2.CheckpointDir = copyDurabilityDir(t, dir)
+		srv2 := New(cfg2)
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
@@ -137,11 +143,13 @@ func TestCheckpointCrashConsistency(t *testing.T) {
 		{"create", faultinject.CheckpointCreate, 1},
 		{"write", faultinject.CheckpointWrite, 1},
 		{"sync", faultinject.CheckpointSync, 1},
-		// Rename call 1 commits the meta sidecar, call 2 the snapshot;
+		// Rename call 1 commits the snapshot, call 2 the meta sidecar;
 		// failing between them is the torn window the rename ordering
-		// must survive (orphaned new sidecar, old snapshot authoritative).
-		{"rename-meta", faultinject.CheckpointRename, 1},
-		{"rename-snap", faultinject.CheckpointRename, 2},
+		// must survive (new snapshot committed and authoritative — its
+		// name carries its sequence — stale sidecar with an older, still
+		// chaining base).
+		{"rename-snap", faultinject.CheckpointRename, 1},
+		{"rename-meta", faultinject.CheckpointRename, 2},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			// Mutate the live session so a committed checkpoint would
@@ -160,23 +168,36 @@ func TestCheckpointCrashConsistency(t *testing.T) {
 				t.Fatal("checkpoint failure poisoned the session")
 			}
 
-			// No torn or leftover state: the directory holds exactly the
-			// committed pair (staged temps are cleaned by the failed
-			// attempt itself).
+			// No torn or leftover state: the directory holds only committed
+			// snapshots of this session, its meta sidecar, and the wal/
+			// subtree (staged temps are cleaned by the failed attempt
+			// itself). A failure between the two renames legitimately
+			// leaves TWO committed snapshots — the newest wins, the stale
+			// one is swept by the next successful commit.
 			entries, err := os.ReadDir(dir)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, e := range entries {
-				if name := e.Name(); name != sid+snapSuffix && name != sid+metaSuffix {
+				name := e.Name()
+				if e.IsDir() && name == "wal" {
+					continue
+				}
+				if id, _, ok := wal.ParseSnapshotName(name); ok && id == sid {
+					continue
+				}
+				if name != sid+metaSuffix {
 					t.Fatalf("unexpected file after failed checkpoint: %s", name)
 				}
 			}
 
-			// Whatever the failure point, recovery sees the last committed
-			// snapshot — the baseline — never a partial write.
-			if n := recoveredHandles(t); n != baselineHandles {
-				t.Fatalf("recovered %d handles, want the %d-handle baseline", n, baselineHandles)
+			// Whatever the failure point, recovery loses nothing: the last
+			// committed snapshot plus the journaled tail reproduce every
+			// acknowledged operation, including the mutations no checkpoint
+			// has committed yet.
+			if n := recoveredHandles(t); n != baselineHandles+mutations {
+				t.Fatalf("recovered %d handles, want %d (baseline %d + %d journaled mutations)",
+					n, baselineHandles+mutations, baselineHandles, mutations)
 			}
 		})
 	}

@@ -180,11 +180,11 @@ func TestPoisonedSessionIsolation(t *testing.T) {
 	// The checkpointer skips the poisoned session (its in-memory state is
 	// suspect) but still persists the healthy one.
 	srv.CheckpointNow()
-	if _, err := os.Stat(filepath.Join(dir, a+snapSuffix)); !os.IsNotExist(err) {
-		t.Fatalf("poisoned session was checkpointed (stat err %v)", err)
+	if p := latestSnapshot(dir, a); p != "" {
+		t.Fatalf("poisoned session was checkpointed: %s", p)
 	}
-	if _, err := os.Stat(filepath.Join(dir, b+snapSuffix)); err != nil {
-		t.Fatalf("healthy session not checkpointed: %v", err)
+	if p := latestSnapshot(dir, b); p == "" {
+		t.Fatalf("healthy session not checkpointed")
 	}
 
 	// Deletion reclaims the poisoned session.
@@ -510,8 +510,8 @@ func TestCheckpointRetryExhaustionAndRecovery(t *testing.T) {
 	if got := srv.metrics.checkpointsWritten.Load(); got != 1 {
 		t.Fatalf("baseline checkpointsWritten = %d, want 1", got)
 	}
-	if _, err := os.Stat(filepath.Join(dir, sid+snapSuffix)); err != nil {
-		t.Fatalf("baseline snapshot missing: %v", err)
+	if latestSnapshot(dir, sid) == "" {
+		t.Fatalf("baseline snapshot missing")
 	}
 
 	if err := os.RemoveAll(dir); err != nil {
@@ -546,8 +546,8 @@ func TestCheckpointRetryExhaustionAndRecovery(t *testing.T) {
 	if got := srv.metrics.checkpointsWritten.Load(); got != 2 {
 		t.Fatalf("checkpointsWritten after recovery = %d, want 2", got)
 	}
-	if _, err := os.Stat(filepath.Join(dir, sid+snapSuffix)); err != nil {
-		t.Fatalf("recovered snapshot missing: %v", err)
+	if latestSnapshot(dir, sid) == "" {
+		t.Fatalf("recovered snapshot missing")
 	}
 	srv.ckpt.failingMu.Lock()
 	_, failing = srv.ckpt.failing[sid]

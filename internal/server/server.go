@@ -18,6 +18,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
@@ -26,7 +27,18 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"bfbdd/internal/wal"
 )
+
+// walOptions translates the wire-level durability knobs into WAL options.
+func walOptions(cfg Config) (wal.Options, error) {
+	policy, err := wal.ParseSyncPolicy(cfg.WALSync)
+	if err != nil {
+		return wal.Options{}, fmt.Errorf("bad WALSync: %w", err)
+	}
+	return wal.Options{Policy: policy, Interval: cfg.WALSyncInterval}, nil
+}
 
 // Config tunes the service layer. The zero value is usable; unset fields
 // take the defaults below.
@@ -81,6 +93,15 @@ type Config struct {
 	// negative disables the loop; CheckpointNow and the shutdown pass
 	// still write.
 	CheckpointInterval time.Duration
+	// WALSync selects the write-ahead-log durability policy when
+	// CheckpointDir is set: "always" fsyncs before every acknowledgment
+	// (zero loss even on power failure), "interval" (the default) writes
+	// through to the OS per operation and fsyncs on a timer (zero loss on
+	// process crash, bounded loss on power failure), "none" leaves syncing
+	// to the OS entirely.
+	WALSync string
+	// WALSyncInterval is the fsync cadence under WALSync "interval".
+	WALSyncInterval time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// MaxFuncBytes, when positive, caps the published-function artifact
@@ -132,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxEvalBatch <= 0 {
 		c.MaxEvalBatch = 8192
 	}
+	if c.WALSyncInterval <= 0 {
+		c.WALSyncInterval = 100 * time.Millisecond
+	}
 	return c
 }
 
@@ -172,8 +196,43 @@ func New(cfg Config) *Server {
 		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 			log.Printf("server: cannot create checkpoint dir %s: %v (persistence disabled)",
 				cfg.CheckpointDir, err)
+		} else if walOpts, err := walOptions(cfg); err != nil {
+			log.Printf("server: %v (persistence disabled)", err)
 		} else {
-			s.ckpt = newCheckpointer(cfg, s.reg, m)
+			s.ckpt = newCheckpointer(cfg, walOpts, s.reg, m)
+			// Every session created over the API gets a WAL opened at
+			// sequence 0 whose first record is the creation itself, so a
+			// session is reconstructible even before its first checkpoint.
+			// Acknowledgment of the creation implies the record is durable,
+			// so a failed open or append fails the creation.
+			s.reg.walCreate = func(sess *session) error {
+				data, err := json.Marshal(sess.opts)
+				if err != nil {
+					return err
+				}
+				lg, err := wal.Open(s.ckpt.walDir, sess.id, 0, walOpts, &m.wal)
+				if err != nil {
+					return err
+				}
+				if err := lg.Append(wal.CreateRec{Options: data}); err != nil {
+					lg.Close()
+					return err
+				}
+				sess.wal = lg
+				return nil
+			}
+			// A session restored over the API replaces any previous history
+			// under the same id: stale snapshots and segments would outrank
+			// or garble the new timeline, so they go first.
+			s.reg.walAdopt = func(sess *session) error {
+				s.ckpt.purge(sess.id)
+				lg, err := wal.Open(s.ckpt.walDir, sess.id, 0, walOpts, &m.wal)
+				if err != nil {
+					return err
+				}
+				sess.wal = lg
+				return nil
+			}
 			s.ckpt.recover()
 			go s.ckpt.run()
 		}

@@ -18,6 +18,7 @@ import (
 	"bfbdd"
 	"bfbdd/internal/faultinject"
 	"bfbdd/internal/snapshot"
+	"bfbdd/internal/wal"
 )
 
 var (
@@ -194,6 +195,14 @@ type session struct {
 	coal *coalescer
 	m    *metrics
 
+	// wal, when non-nil, is the session's write-ahead operation log:
+	// every mutating handler journals its operation (with the wire handle
+	// it produced) before acknowledging, so startup recovery can rebuild
+	// the session as newest checkpoint + replayed tail. Appends are
+	// serialized by the log's own mutex; most come from the executor
+	// goroutine, close and publish records from handler goroutines.
+	wal *wal.Log
+
 	// poisoned latches when the engine reports an internal fault (an
 	// invariant violation or an unclassifiable panic). A poisoned session
 	// keeps serving 409s so the client sees a stable, diagnosable state,
@@ -321,6 +330,31 @@ func (s *session) put(b *bfbdd.BDD) uint64 {
 	return s.nextHandle
 }
 
+// unput rolls back a put whose journal append failed: the handle was
+// never acknowledged, so memory must not get ahead of the log. Executor
+// goroutine only; roll back the most recent put first so handle
+// numbering rewinds exactly.
+func (s *session) unput(h uint64, b *bfbdd.BDD) {
+	delete(s.handles, h)
+	b.Free()
+	if h == s.nextHandle {
+		s.nextHandle--
+	}
+}
+
+// journal appends recs to the session's WAL as one commit group and
+// makes them durable per the configured sync policy before returning.
+// With no WAL (persistence disabled) it is a no-op.
+func (s *session) journal(recs ...wal.Record) error {
+	if s.wal == nil || len(recs) == 0 {
+		return nil
+	}
+	if err := s.wal.Append(recs...); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
 // free releases a wire handle; executor goroutine only.
 func (s *session) free(h uint64) error {
 	b, ok := s.handles[h]
@@ -360,6 +394,11 @@ func (s *session) close() {
 		// are now exclusively ours.
 		s.handles = nil
 		s.mgr.Close()
+		if s.wal != nil {
+			if err := s.wal.Close(); err != nil {
+				log.Printf("server: closing wal of session %s: %v", s.id, err)
+			}
+		}
 	})
 }
 
@@ -374,6 +413,18 @@ type registry struct {
 	// must leave checkpoints on disk). The checkpointer uses it to remove
 	// the session's files.
 	onClose func(id string)
+
+	// walCreate, if set, opens a write-ahead log for a freshly created
+	// session and journals its creation record before the session is
+	// committed; a failure fails the creation (a session the durability
+	// layer cannot journal must not be acknowledged).
+	walCreate func(s *session) error
+	// walAdopt, if set, attaches a fresh write-ahead log to a session
+	// restored from a client-supplied snapshot, first purging any stale
+	// on-disk state a previous holder of the id left behind. The restored
+	// state itself is made durable by the synchronous checkpoint the
+	// restore handler takes before acknowledging.
+	walAdopt func(s *session) error
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -397,13 +448,24 @@ func newRegistry(cfg Config, m *metrics) *registry {
 }
 
 func (r *registry) create(o SessionOptions) (*session, error) {
+	return r.createAt("", o, true)
+}
+
+// createAt is create with an explicit session id (empty generates one);
+// startup recovery uses it to rebuild a never-checkpointed session from
+// its WAL creation record under the original id. openWAL selects whether
+// the walCreate hook runs: live creation journals a fresh log, but
+// recovery MUST pass false — opening a log at base zero truncates the
+// very segment the recovery is about to replay (the caller attaches the
+// log itself, after the replay, at the replayed sequence).
+func (r *registry) createAt(id string, o SessionOptions, openWAL bool) (*session, error) {
 	engine, opts, err := o.options(r.cfg)
 	if err != nil {
 		return nil, err
 	}
 	// Reserve the registry slot before building the manager so a burst of
 	// creations cannot overshoot the cap, but allocate outside the lock.
-	id, err := r.reserve("")
+	id, err = r.reserve(id)
 	if err != nil {
 		return nil, err
 	}
@@ -422,6 +484,13 @@ func (r *registry) create(o SessionOptions) (*session, error) {
 	s.coal = newCoalescer(s, r.cfg, r.m)
 	s.touch()
 	s.refreshStats()
+	if openWAL && r.walCreate != nil {
+		if err := r.walCreate(s); err != nil {
+			s.close()
+			r.release(id)
+			return nil, fmt.Errorf("session wal: %w", err)
+		}
+	}
 	if err := r.commit(s); err != nil {
 		return nil, err
 	}
@@ -484,8 +553,11 @@ func (r *registry) release(id string) {
 // snapshot stream: the variable count and order and every wire handle
 // come from the stream, the engine configuration from o. The stream
 // header is peeked and vetted against the server's limits before any
-// manager memory is committed.
-func (r *registry) restore(id string, o SessionOptions, src io.Reader) (*session, error) {
+// manager memory is committed. attachWAL selects the client-restore
+// path, which purges stale on-disk state for the id and opens a fresh
+// log; startup recovery passes false and attaches the recovered log
+// itself after replaying the tail.
+func (r *registry) restore(id string, o SessionOptions, src io.Reader, attachWAL bool) (*session, error) {
 	engine, opts, err := o.engineOptions(r.cfg)
 	if err != nil {
 		return nil, err
@@ -547,6 +619,13 @@ func (r *registry) restore(id string, o SessionOptions, src io.Reader) (*session
 	s.coal = newCoalescer(s, r.cfg, r.m)
 	s.touch()
 	s.refreshStats()
+	if attachWAL && r.walAdopt != nil {
+		if err := r.walAdopt(s); err != nil {
+			s.close()
+			r.release(id)
+			return nil, fmt.Errorf("session wal: %w", err)
+		}
+	}
 	if err := r.commit(s); err != nil {
 		return nil, err
 	}
@@ -606,6 +685,26 @@ func (r *registry) finish(s *session) {
 	}
 	r.mu.Lock()
 	delete(r.closing, s.id)
+	r.mu.Unlock()
+}
+
+// discard removes and closes one session without firing the onClose
+// hook: startup recovery uses it to tear down a session whose WAL replay
+// failed while leaving the on-disk evidence in place for forensics.
+func (r *registry) discard(id string) {
+	r.mu.Lock()
+	s, ok := r.sessions[id]
+	if ok && s != nil {
+		delete(r.sessions, id)
+		r.closing[id] = struct{}{}
+	}
+	r.mu.Unlock()
+	if !ok || s == nil {
+		return
+	}
+	s.close()
+	r.mu.Lock()
+	delete(r.closing, id)
 	r.mu.Unlock()
 }
 

@@ -1,0 +1,81 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+// FuzzWALReplay feeds hostile bytes to the full read path — record
+// decode and segment scan — and checks the durability contract the
+// recovery code leans on: no input panics, every well-formed record
+// survives an encode/decode roundtrip, and a scan never delivers
+// records beyond the first malformed frame.
+func FuzzWALReplay(f *testing.F) {
+	// Seeds: a clean segment, a torn one, and assorted corruptions.
+	recs := []Record{
+		CreateRec{Options: []byte(`{"vars":4}`)},
+		VarRec{Index: 1, Handle: 1},
+		ApplyRec{Op: 1, F: 1, G: 1, Handle: 2},
+		BatchRec{Ops: []ApplyRec{{Op: 0, F: 1, G: 2, Handle: 3}}},
+		QuantifyRec{F: 3, Vars: []int{0, 1}, Handle: 4},
+		FreeRec{Handles: []uint64{1, 2}},
+		CloseRec{},
+	}
+	var seg []byte
+	seg = append(seg, encodeHeader(0)...)
+	for i, r := range recs {
+		payload := EncodeRecord(uint64(i+1), r)
+		var frame [frameOverhead]byte
+		binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+		seg = append(seg, frame[:]...)
+		seg = append(seg, payload...)
+	}
+	f.Add(seg)
+	f.Add(seg[:len(seg)-3])
+	f.Add(seg[:HeaderSize])
+	f.Add([]byte(Magic))
+	mut := append([]byte(nil), seg...)
+	mut[HeaderSize+9] ^= 0xFF
+	f.Add(mut)
+	f.Add(EncodeRecord(1, VarRec{Index: 1, Handle: 1}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Raw payload decode: must not panic; a success must roundtrip.
+		if ent, err := DecodeRecord(data); err == nil {
+			re := EncodeRecord(ent.Seq, ent.Rec)
+			ent2, err2 := DecodeRecord(re)
+			if err2 != nil {
+				t.Fatalf("re-decode of re-encoded record failed: %v", err2)
+			}
+			if ent2.Seq != ent.Seq || !reflect.DeepEqual(ent2.Rec, ent.Rec) {
+				t.Fatalf("roundtrip diverged: %+v != %+v", ent2, ent)
+			}
+		}
+
+		// Segment scan: must not panic, and the delivered records must be
+		// densely sequenced.
+		var last uint64
+		first := true
+		st, err := ScanSegment(bytes.NewReader(data), func(e Entry) error {
+			if !first && e.Seq != last+1 {
+				t.Fatalf("non-dense delivery: %d after %d", e.Seq, last)
+			}
+			first = false
+			last = e.Seq
+			return nil
+		})
+		if err != nil {
+			return // typed header error; fine
+		}
+		if st.Records > 0 && st.LastSeq != last {
+			t.Fatalf("LastSeq %d != last delivered %d", st.LastSeq, last)
+		}
+		if st.Records == 0 && st.LastSeq != st.Base {
+			t.Fatalf("empty scan moved LastSeq: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAppendRotateTruncate races the three mutators the server
+// runs concurrently — the session executor appending, the checkpointer
+// rotating at each snapshot and truncating after each commit — and then
+// proves the on-disk chain still replays every appended record exactly
+// once from the highest truncation point. Run under -race this is the
+// append-vs-checkpoint interleaving test; without it, it is still a
+// strong linearizability check on the segment chain.
+func TestConcurrentAppendRotateTruncate(t *testing.T) {
+	dir := t.TempDir()
+	var ctr Counters
+	l, err := Open(dir, "s-race", 0, Options{Policy: SyncNone}, &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const appends = 2000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// checkpointBase is the highest sequence a simulated checkpoint has
+	// covered; records above it must survive on disk.
+	var mu sync.Mutex
+	var checkpointBase uint64
+
+	go func() {
+		defer wg.Done()
+		for i := 0; i < appends; i++ {
+			if err := l.Append(VarRec{Index: i & 0xF, Handle: uint64(i + 1)}); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			// The checkpointer's sequence: rotate so the covered records end
+			// at a segment boundary, then truncate everything below that
+			// boundary. Truncating to anything other than a boundary could
+			// delete records a checkpoint does not cover — the same reason
+			// the server truncates to the sequence it rotated at.
+			if err := l.Rotate(); err != nil {
+				t.Errorf("rotate: %v", err)
+				return
+			}
+			l.mu.Lock()
+			base := l.base
+			l.mu.Unlock()
+			if err := l.TruncateTo(base); err != nil {
+				t.Errorf("truncate: %v", err)
+				return
+			}
+			mu.Lock()
+			if base > checkpointBase {
+				checkpointBase = base
+			}
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything after the last covered sequence replays densely.
+	want := uint64(appends) - checkpointBase
+	var n uint64
+	last := checkpointBase
+	st, err := ReplayTail(dir, "s-race", checkpointBase, func(e Entry) error {
+		if e.Seq != last+1 {
+			return corrupt("sequence %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if st.Gap {
+		t.Fatalf("chain gap at base %d", st.GapBase)
+	}
+	if n != want || last != appends {
+		t.Fatalf("replayed %d records to seq %d, want %d to %d", n, last, want, appends)
+	}
+	if got := ctr.Appended.Load(); got != appends {
+		t.Fatalf("Appended = %d, want %d", got, appends)
+	}
+}

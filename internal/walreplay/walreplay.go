@@ -1,0 +1,208 @@
+// Package walreplay applies write-ahead-log records to a live manager
+// and wire-handle table. It is the single deterministic-replay engine
+// shared by server startup recovery and the bfbdd-wal CLI: every record
+// carries the wire handle its result was acknowledged under, so replay
+// rebuilds the exact handle numbering regardless of how the original
+// operations were coalesced or batched.
+package walreplay
+
+import (
+	"fmt"
+
+	"bfbdd"
+	"bfbdd/internal/wal"
+)
+
+// State is the session state a replay mutates. Handles and NextHandle
+// mirror the server session's wire-handle table; Closed latches when a
+// close record is replayed (the caller must then discard the session
+// instead of resurrecting it).
+type State struct {
+	Mgr        *bfbdd.Manager
+	Handles    map[uint64]*bfbdd.BDD
+	NextHandle uint64
+	Closed     bool
+}
+
+// NewState wraps a fresh manager.
+func NewState(m *bfbdd.Manager) *State {
+	return &State{Mgr: m, Handles: make(map[uint64]*bfbdd.BDD)}
+}
+
+func (st *State) get(h uint64) (*bfbdd.BDD, error) {
+	b, ok := st.Handles[h]
+	if !ok {
+		return nil, fmt.Errorf("walreplay: no handle %d", h)
+	}
+	return b, nil
+}
+
+// set installs b under wire handle h. An existing binding is released
+// first: a sync failure after a durable append can roll an operation back
+// in memory while its record survives on disk, so a later operation may
+// legitimately reuse the handle — last write wins, like the live session.
+func (st *State) set(h uint64, b *bfbdd.BDD) {
+	if old, ok := st.Handles[h]; ok {
+		old.Free()
+	}
+	st.Handles[h] = b
+	if h > st.NextHandle {
+		st.NextHandle = h
+	}
+}
+
+// batchKind validates a journaled op code against the engine alphabet.
+func batchKind(op uint8) (bfbdd.BatchOpKind, error) {
+	if op >= wal.NumOps {
+		return 0, fmt.Errorf("walreplay: op code %d out of range", op)
+	}
+	return bfbdd.BatchOpKind(op), nil
+}
+
+// Apply replays one record. Records that carry no session state (create,
+// snapshot, publish) are skipped; a close record latches Closed. Errors
+// mean the log does not describe a valid history for this state — the
+// caller should refuse the recovery rather than serve a diverged session.
+func (st *State) Apply(rec wal.Record) error {
+	switch r := rec.(type) {
+	case wal.CreateRec:
+		// Session construction is the caller's job (it needs the full
+		// server option surface); by the time records replay the manager
+		// already exists.
+		return nil
+	case wal.VarRec:
+		if r.Index < 0 || r.Index >= st.Mgr.NumVars() {
+			return fmt.Errorf("walreplay: variable %d out of range [0,%d)", r.Index, st.Mgr.NumVars())
+		}
+		if r.Negated {
+			st.set(r.Handle, st.Mgr.NVar(r.Index))
+		} else {
+			st.set(r.Handle, st.Mgr.Var(r.Index))
+		}
+		return nil
+	case wal.ConstRec:
+		if r.Value {
+			st.set(r.Handle, st.Mgr.One())
+		} else {
+			st.set(r.Handle, st.Mgr.Zero())
+		}
+		return nil
+	case wal.ApplyRec:
+		return st.applyOps([]wal.ApplyRec{r})
+	case wal.BatchRec:
+		return st.applyOps(r.Ops)
+	case wal.ITERec:
+		f, err := st.get(r.F)
+		if err != nil {
+			return err
+		}
+		g, err := st.get(r.G)
+		if err != nil {
+			return err
+		}
+		h, err := st.get(r.H)
+		if err != nil {
+			return err
+		}
+		st.set(r.Handle, f.ITE(g, h))
+		return nil
+	case wal.NotRec:
+		f, err := st.get(r.F)
+		if err != nil {
+			return err
+		}
+		st.set(r.Handle, f.Not())
+		return nil
+	case wal.QuantifyRec:
+		f, err := st.get(r.F)
+		if err != nil {
+			return err
+		}
+		for _, v := range r.Vars {
+			if v < 0 || v >= st.Mgr.NumVars() {
+				return fmt.Errorf("walreplay: quantified variable %d out of range", v)
+			}
+		}
+		if r.Forall {
+			st.set(r.Handle, f.Forall(r.Vars...))
+		} else {
+			st.set(r.Handle, f.Exists(r.Vars...))
+		}
+		return nil
+	case wal.RestrictRec:
+		f, err := st.get(r.F)
+		if err != nil {
+			return err
+		}
+		if r.Var < 0 || r.Var >= st.Mgr.NumVars() {
+			return fmt.Errorf("walreplay: restricted variable %d out of range", r.Var)
+		}
+		st.set(r.Handle, f.Restrict(r.Var, r.Value))
+		return nil
+	case wal.ComposeRec:
+		f, err := st.get(r.F)
+		if err != nil {
+			return err
+		}
+		g, err := st.get(r.G)
+		if err != nil {
+			return err
+		}
+		if r.Var < 0 || r.Var >= st.Mgr.NumVars() {
+			return fmt.Errorf("walreplay: composed variable %d out of range", r.Var)
+		}
+		st.set(r.Handle, f.Compose(r.Var, g))
+		return nil
+	case wal.FreeRec:
+		for _, h := range r.Handles {
+			b, err := st.get(h)
+			if err != nil {
+				return err
+			}
+			delete(st.Handles, h)
+			b.Free()
+		}
+		return nil
+	case wal.GCRec:
+		st.Mgr.GC()
+		return nil
+	case wal.SetOrderRec:
+		if len(r.Levels) != st.Mgr.NumVars() {
+			return fmt.Errorf("walreplay: order has %d levels for %d vars", len(r.Levels), st.Mgr.NumVars())
+		}
+		st.Mgr.SetOrder(r.Levels)
+		return nil
+	case wal.SnapshotRec, wal.PublishRec:
+		return nil // audit records; no session state
+	case wal.CloseRec:
+		st.Closed = true
+		return nil
+	}
+	return fmt.Errorf("walreplay: unhandled record kind %v", rec.Kind())
+}
+
+// applyOps replays a group of binary applies as one engine batch, the
+// same path the live server uses.
+func (st *State) applyOps(recs []wal.ApplyRec) error {
+	ops := make([]bfbdd.BatchOp, len(recs))
+	for i, r := range recs {
+		kind, err := batchKind(r.Op)
+		if err != nil {
+			return err
+		}
+		f, err := st.get(r.F)
+		if err != nil {
+			return err
+		}
+		g, err := st.get(r.G)
+		if err != nil {
+			return err
+		}
+		ops[i] = bfbdd.BatchOp{Kind: kind, F: f, G: g}
+	}
+	results := st.Mgr.ApplyBatch(ops)
+	for i, b := range results {
+		st.set(recs[i].Handle, b)
+	}
+	return nil
+}
