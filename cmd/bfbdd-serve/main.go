@@ -21,6 +21,16 @@
 // OOMing the process), and -max-total-bytes sheds allocating requests
 // with 429 + Retry-After while the whole pool is over budget.
 //
+// Hot standby: -follow=<primary-url> (requires -checkpoint-dir) runs the
+// process as a read-only replica — sessions bootstrap from the primary's
+// snapshots, stay current by streaming its WAL, serve every read path,
+// and answer mutations with 421 plus the primary's URL. /readyz reports
+// ready once bootstrap is complete and replication lag is within
+// -ready-max-lag. POST /v1/admin/promote (or restarting with
+// -promote-on-start) seals replication, bumps the fencing epoch, and
+// flips the replica writable; a fenced old primary refuses stale-epoch
+// appends on restart.
+//
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
 // in-flight requests and queued session work finish (bounded by
 // -drain-timeout), a final checkpoint pass runs, then every session's
@@ -64,11 +74,20 @@ func main() {
 		maxEvalBatch    = flag.Int("max-eval-batch", 8192, "assignments accepted per eval request; larger batches get 413")
 		pprofEnabled    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain at exit")
+		followURL       = flag.String("follow", "", "primary base URL to follow as a read-only hot standby (requires -checkpoint-dir)")
+		promoteOnStart  = flag.Bool("promote-on-start", false, "bump the replication epoch and serve writable from the first request (failover restart)")
+		readyMaxLag     = flag.Duration("ready-max-lag", 2*time.Second, "replication lag beyond which a follower's /readyz reports unready")
+		replRetention   = flag.Uint64("repl-retention", 65536, "records behind the newest checkpoint that WAL truncation holds for lagging followers")
+		replSyncTimeout = flag.Duration("repl-sync-timeout", 2*time.Second, "under -wal-sync=always, how long an ack waits for follower delivery before dropping laggards")
 	)
 	// -shutdown-timeout is the historical name of -drain-timeout; both set
 	// the same value, last one parsed wins.
 	flag.DurationVar(drainTimeout, "shutdown-timeout", 30*time.Second, "alias for -drain-timeout")
 	flag.Parse()
+
+	if *followURL != "" && *checkpointDir == "" {
+		log.Fatal("bfbdd-serve: -follow requires -checkpoint-dir (the replica's durable state lives there)")
+	}
 
 	srv := server.New(server.Config{
 		MaxSessions:         *maxSessions,
@@ -89,6 +108,11 @@ func main() {
 		MaxEvalBodyBytes:    *maxEvalBody,
 		MaxEvalBatch:        *maxEvalBatch,
 		EnablePprof:         *pprofEnabled,
+		FollowURL:           *followURL,
+		PromoteOnStart:      *promoteOnStart,
+		ReadyMaxLag:         *readyMaxLag,
+		ReplRetention:       *replRetention,
+		ReplSyncTimeout:     *replSyncTimeout,
 	})
 
 	httpSrv := &http.Server{
@@ -108,6 +132,9 @@ func main() {
 	select {
 	case sig := <-sigc:
 		log.Printf("bfbdd-serve: %s received, draining (signal again to force exit)", sig)
+		// Flip /readyz unready immediately so load balancers stop
+		// routing here while the listener finishes in-flight work.
+		srv.StartDrain()
 	case err := <-errc:
 		log.Fatalf("bfbdd-serve: listener failed: %v", err)
 	}

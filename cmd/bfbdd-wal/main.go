@@ -134,7 +134,7 @@ func runInfo(args []string) error {
 			return err
 		}
 		fmt.Printf("session %s (%d segments)\n", id, len(segs))
-		fmt.Printf("  %20s %10s %20s %s\n", "base", "records", "last-seq", "state")
+		fmt.Printf("  %20s %10s %20s %6s %s\n", "base", "records", "last-seq", "epoch", "state")
 		for _, sg := range segs {
 			kinds := make(map[wal.Kind]int)
 			st, err := wal.ScanSegmentFile(sg.Path, func(e wal.Entry) error {
@@ -142,14 +142,14 @@ func runInfo(args []string) error {
 				return nil
 			})
 			if err != nil {
-				fmt.Printf("  %20d %10s %20s unreadable: %v\n", sg.Base, "-", "-", err)
+				fmt.Printf("  %20d %10s %20s %6s unreadable: %v\n", sg.Base, "-", "-", "-", err)
 				continue
 			}
 			state := "clean"
 			if st.Torn {
 				state = fmt.Sprintf("torn tail (%v)", st.TornErr)
 			}
-			fmt.Printf("  %20d %10d %20d %s\n", st.Base, st.Records, st.LastSeq, state)
+			fmt.Printf("  %20d %10d %20d %6d %s\n", st.Base, st.Records, st.LastSeq, st.Epoch, state)
 			if len(kinds) > 0 {
 				var ks []wal.Kind
 				for k := range kinds {
@@ -178,48 +178,32 @@ type verdict struct {
 	Segments  int      `json:"segments"`
 	Records   uint64   `json:"records"`
 	TornTails int      `json:"torn_tails,omitempty"`
+	MaxEpoch  uint64   `json:"max_epoch,omitempty"`
 	Errors    []string `json:"errors,omitempty"`
 }
 
-// verifySession scans id's full chain. A torn tail is acceptable only on
-// the newest segment (the expected shape of a crash); torn mid-chain
-// segments and unreachable segments are corruption — recovery would lose
-// acknowledged history after them.
+// verifySession delegates to the chain verifier shared with recovery and
+// replication: dense sequences across segment boundaries, header bases
+// matching file names, no epoch regression, and a torn tail tolerated
+// only on the newest segment (the expected shape of a crash) — torn
+// mid-chain segments and unreachable segments are corruption, recovery
+// would lose acknowledged history after them.
 func verifySession(dir, id string, v *verdict) {
-	segs, err := wal.ListSegments(dir, id)
+	cs, err := wal.VerifyChain(dir, id)
+	v.Segments += cs.Segments
+	v.Records += cs.Records
+	if cs.TornTail {
+		v.TornTails++
+	}
+	if cs.MaxEpoch > v.MaxEpoch {
+		v.MaxEpoch = cs.MaxEpoch
+	}
 	if err != nil {
 		v.Errors = append(v.Errors, fmt.Sprintf("%s: %v", id, err))
 		return
 	}
-	if len(segs) == 0 {
+	if cs.Segments == 0 {
 		v.Errors = append(v.Errors, fmt.Sprintf("%s: no segments", id))
-		return
-	}
-	v.Segments += len(segs)
-	last := uint64(0)
-	for i, sg := range segs {
-		st, err := wal.ScanSegmentFile(sg.Path, func(wal.Entry) error { return nil })
-		if err != nil {
-			v.Errors = append(v.Errors, fmt.Sprintf("%s seg %d: %v", id, sg.Base, err))
-			return
-		}
-		if i > 0 && sg.Base > last {
-			v.Errors = append(v.Errors,
-				fmt.Sprintf("%s seg %d: unreachable (chain ends at seq %d)", id, sg.Base, last))
-			return
-		}
-		v.Records += uint64(st.Records)
-		if st.LastSeq > last {
-			last = st.LastSeq
-		}
-		if st.Torn {
-			v.TornTails++
-			if i != len(segs)-1 {
-				v.Errors = append(v.Errors,
-					fmt.Sprintf("%s seg %d: torn mid-chain: %v", id, sg.Base, st.TornErr))
-				return
-			}
-		}
 	}
 }
 

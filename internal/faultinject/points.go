@@ -23,6 +23,9 @@
 //	WALSync           wal:    fsync of the active WAL segment
 //	WALRotate         wal:    opening a fresh segment at a checkpoint
 //	WALTruncate       wal:    deleting checkpoint-covered segments
+//	ReplShip          server: replication WAL shipping (fires truncate the
+//	                          batch body mid-frame, simulating a connection
+//	                          severed while frames were in flight)
 //
 // Error-injecting points (everything except the stalls) return a typed
 // *Error wrapping ErrInjected; engine call sites panic it into the
@@ -55,6 +58,7 @@ const (
 	WALSync
 	WALRotate
 	WALTruncate
+	ReplShip
 	NumPoints
 )
 
@@ -73,6 +77,7 @@ var pointNames = [NumPoints]string{
 	"wal-sync",
 	"wal-rotate",
 	"wal-truncate",
+	"repl-ship",
 }
 
 func (p Point) String() string {

@@ -1,0 +1,191 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Typed client failures the follower branches on.
+var (
+	// ErrSnapshotRequired means the primary truncated the requested
+	// range away (410): re-bootstrap from a snapshot.
+	ErrSnapshotRequired = errors.New("replication: requested range truncated, snapshot required")
+	// ErrSessionGone means the primary no longer has the session (404).
+	ErrSessionGone = errors.New("replication: session gone on primary")
+)
+
+// Client talks to a primary's replication endpoints. It is safe for
+// concurrent use by the per-session pullers.
+type Client struct {
+	base       string
+	followerID string
+	hc         *http.Client
+}
+
+// NewClient validates primaryURL and returns a client identifying
+// itself as followerID on WAL polls. The underlying http.Client has no
+// global timeout — long-polls and snapshot streams are bounded by the
+// per-request contexts the pullers pass in.
+func NewClient(primaryURL, followerID string) (*Client, error) {
+	u, err := url.Parse(primaryURL)
+	if err != nil {
+		return nil, fmt.Errorf("replication: bad primary url: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("replication: primary url %q must be http(s)", primaryURL)
+	}
+	return &Client{
+		base:       strings.TrimRight(u.String(), "/"),
+		followerID: followerID,
+		hc:         &http.Client{},
+	}, nil
+}
+
+// PrimaryURL returns the base URL this client follows.
+func (c *Client) PrimaryURL() string { return c.base }
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.hc.Do(req)
+}
+
+// httpError drains and summarizes a non-OK response.
+func httpError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return fmt.Errorf("replication: primary returned %d: %s", resp.StatusCode, msg)
+}
+
+// Status fetches the primary's replication status.
+func (c *Client) Status(ctx context.Context) (*Status, error) {
+	resp, err := c.get(ctx, StatusPath)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var st Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("replication: bad status body: %w", err)
+	}
+	return &st, nil
+}
+
+// Snapshot opens a bootstrap snapshot stream for sid. The caller owns
+// the returned body and must Close it.
+func (c *Client) Snapshot(ctx context.Context, sid string) (io.ReadCloser, SnapshotInfo, error) {
+	resp, err := c.get(ctx, SnapshotPathPrefix+url.PathEscape(sid))
+	if err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		resp.Body.Close()
+		return nil, SnapshotInfo{}, ErrSessionGone
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, SnapshotInfo{}, httpError(resp)
+	}
+	var info SnapshotInfo
+	if info.Epoch, err = headerUint(resp, HeaderEpoch); err != nil {
+		resp.Body.Close()
+		return nil, SnapshotInfo{}, err
+	}
+	if info.BaseSeq, err = headerUint(resp, HeaderBaseSeq); err != nil {
+		resp.Body.Close()
+		return nil, SnapshotInfo{}, err
+	}
+	if opts := resp.Header.Get(HeaderOptions); opts != "" {
+		info.Options = json.RawMessage(opts)
+	}
+	return resp.Body, info, nil
+}
+
+// PollWAL long-polls sid's WAL for frames beyond from, waiting up to
+// wait on the primary for new commits. It returns nil (no error) when
+// the primary had nothing within the window, ErrSnapshotRequired when
+// the range was truncated away, and a batch — possibly Truncated, with
+// a partial frame prefix — when the connection died mid-body: frames
+// already flushed by the primary may back acknowledged operations, so
+// the caller must apply what parses rather than discard the body.
+func (c *Client) PollWAL(ctx context.Context, sid string, from uint64, wait time.Duration) (*WALBatch, error) {
+	q := url.Values{
+		"from":     {strconv.FormatUint(from, 10)},
+		"follower": {c.followerID},
+		"wait":     {wait.String()},
+	}
+	resp, err := c.get(ctx, WALPathPrefix+url.PathEscape(sid)+"?"+q.Encode())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusGone:
+		return nil, ErrSnapshotRequired
+	case http.StatusNotFound:
+		return nil, ErrSessionGone
+	case http.StatusOK:
+	default:
+		return nil, httpError(resp)
+	}
+	b := &WALBatch{}
+	if b.Epoch, err = headerUint(resp, HeaderEpoch); err != nil {
+		return nil, err
+	}
+	if b.LastSeq, err = headerUint(resp, HeaderLastSeq); err != nil {
+		return nil, err
+	}
+	b.Frames, err = io.ReadAll(resp.Body)
+	if err != nil {
+		// The primary flushes before acknowledging, so a torn body can
+		// still carry acknowledged frames; deliver the prefix.
+		b.Truncated = true
+	}
+	return b, nil
+}
+
+// DownloadFunc fetches a published compiled-function artifact.
+func (c *Client) DownloadFunc(ctx context.Context, fid string) ([]byte, error) {
+	resp, err := c.get(ctx, "/v1/funcs/"+url.PathEscape(fid)+"/download")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, ErrSessionGone
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func headerUint(resp *http.Response, name string) (uint64, error) {
+	v := resp.Header.Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("replication: response missing %s", name)
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("replication: bad %s %q", name, v)
+	}
+	return n, nil
+}

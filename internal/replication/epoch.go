@@ -1,0 +1,77 @@
+// Package replication implements hot-standby support for bfbdd-serve:
+// the primary-side hub that tracks committed sequences and connected
+// followers (semi-synchronous shipping under -wal-sync=always), the
+// long-poll wire protocol shared by the primary's handlers and the
+// follower's client, and the persisted replication epoch that fences a
+// deposed primary.
+//
+// The protocol is deliberately thin: three idempotent GETs. A follower
+// discovers sessions and the current epoch from /v1/repl/status,
+// bootstraps each session from a snapshot stream whose headers carry
+// the wal base sequence, then long-polls /v1/repl/wal/{sid}?from=N for
+// raw WAL frames. Everything the follower applies is also journaled to
+// its own WAL first, so a follower restart recovers locally and
+// resumes from its own chain head — the primary never tracks follower
+// durability, only delivery.
+package replication
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// epochFile is the sidecar in the checkpoint directory that persists
+// the replication epoch across restarts.
+const epochFile = "epoch.json"
+
+type epochState struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// LoadEpoch reads the persisted replication epoch from dir. A missing
+// file is epoch 1 (the pre-replication default), not an error.
+func LoadEpoch(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, epochFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 1, nil
+		}
+		return 0, err
+	}
+	var st epochState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return 0, err
+	}
+	if st.Epoch == 0 {
+		st.Epoch = 1
+	}
+	return st.Epoch, nil
+}
+
+// StoreEpoch durably persists epoch in dir (temp file, fsync, rename),
+// the same commit discipline as checkpoint metadata: a crash leaves
+// either the old epoch or the new one, never a torn file.
+func StoreEpoch(dir string, epoch uint64) error {
+	data, err := json.Marshal(epochState{Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".epoch-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, epochFile))
+}

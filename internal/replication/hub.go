@@ -1,0 +1,249 @@
+package replication
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Hub is the primary-side rendezvous between committing sessions and
+// long-polling followers. Sessions report committed sequences after
+// their WAL append (and fsync, per policy) succeeds; poll handlers wait
+// here for new commits and report delivery after the response is
+// flushed to the follower's socket. Under -wal-sync=always the server
+// also blocks acknowledgements on delivery (AwaitDelivery), which is
+// what makes "zero acknowledged-op loss on promotion" literal: an op is
+// acked only after its frames reached every attached follower's socket.
+type Hub struct {
+	// staleAfter bounds how long a follower stays "connected" without
+	// polling; it must exceed the long-poll wait or idle followers
+	// flap in and out of the sync set between polls.
+	staleAfter time.Duration
+
+	mu        sync.Mutex
+	sessions  map[string]*hubSession
+	followers map[string]*hubFollower
+	delivered chan struct{} // closed and replaced on every delivery
+}
+
+type hubSession struct {
+	committed uint64
+	ch        chan struct{} // closed and replaced on every commit
+}
+
+type hubFollower struct {
+	lastSeen  time.Time
+	acked     map[string]uint64 // per session: has everything <= seq
+	delivered map[string]uint64 // per session: flushed to its socket
+}
+
+// NewHub returns a hub that treats followers silent for staleAfter as
+// disconnected (<= 0 selects 30s, comfortably above the poll wait).
+func NewHub(staleAfter time.Duration) *Hub {
+	if staleAfter <= 0 {
+		staleAfter = 30 * time.Second
+	}
+	return &Hub{
+		staleAfter: staleAfter,
+		sessions:   make(map[string]*hubSession),
+		followers:  make(map[string]*hubFollower),
+		delivered:  make(chan struct{}),
+	}
+}
+
+func (h *Hub) session(sid string) *hubSession {
+	s := h.sessions[sid]
+	if s == nil {
+		s = &hubSession{ch: make(chan struct{})}
+		h.sessions[sid] = s
+	}
+	return s
+}
+
+// NotifyCommit records that sid's records up to seq are committed and
+// wakes every long-poll waiting on the session.
+func (h *Hub) NotifyCommit(sid string, seq uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.session(sid)
+	if seq <= s.committed {
+		return
+	}
+	s.committed = seq
+	close(s.ch)
+	s.ch = make(chan struct{})
+}
+
+// Committed returns sid's last committed sequence known to the hub.
+func (h *Hub) Committed(sid string) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s := h.sessions[sid]; s != nil {
+		return s.committed
+	}
+	return 0
+}
+
+// Forget drops sid's commit state (session deleted).
+func (h *Hub) Forget(sid string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.sessions, sid)
+}
+
+// WaitCommit blocks until sid has a committed sequence beyond after,
+// the context expires, or timeout elapses. It reports whether new
+// records are available.
+func (h *Hub) WaitCommit(ctx context.Context, sid string, after uint64, timeout time.Duration) bool {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		h.mu.Lock()
+		s := h.session(sid)
+		if s.committed > after {
+			h.mu.Unlock()
+			return true
+		}
+		ch := s.ch
+		h.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return false
+		case <-deadline.C:
+			return false
+		}
+	}
+}
+
+// Seen registers (or refreshes) follower fid as attached to sid with
+// everything up to acked already applied on its side. Poll handlers
+// call it on every request, so acked doubles as the truncation floor.
+func (h *Hub) Seen(fid, sid string, acked uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f := h.followers[fid]
+	if f == nil {
+		f = &hubFollower{
+			acked:     make(map[string]uint64),
+			delivered: make(map[string]uint64),
+		}
+		h.followers[fid] = f
+	}
+	f.lastSeen = time.Now()
+	// Always materialize the keys: holding them is what marks the
+	// follower as attached to sid, even at acked 0.
+	if cur, ok := f.acked[sid]; !ok || acked > cur {
+		f.acked[sid] = acked
+	}
+	if cur, ok := f.delivered[sid]; !ok || acked > cur {
+		f.delivered[sid] = acked
+	}
+}
+
+// Delivered records that sid's frames up to seq were flushed to fid's
+// socket and wakes AwaitDelivery waiters.
+func (h *Hub) Delivered(fid, sid string, seq uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f := h.followers[fid]
+	if f == nil {
+		return
+	}
+	f.lastSeen = time.Now()
+	if seq > f.delivered[sid] {
+		f.delivered[sid] = seq
+	}
+	close(h.delivered)
+	h.delivered = make(chan struct{})
+}
+
+// connectedLocked reports the follower ids attached to sid (polled it
+// at least once) and seen recently. A follower that never polled a
+// session does not gate its acknowledgements: new sessions must not
+// stall behind a puller that has not discovered them yet — the
+// follower picks them up via its snapshot bootstrap instead.
+func (h *Hub) connectedLocked(sid string, now time.Time) []string {
+	var ids []string
+	for fid, f := range h.followers {
+		if now.Sub(f.lastSeen) > h.staleAfter {
+			continue
+		}
+		if _, attached := f.acked[sid]; attached {
+			ids = append(ids, fid)
+		}
+	}
+	return ids
+}
+
+// AwaitDelivery blocks until every connected follower attached to sid
+// has sid's frames up to seq flushed to its socket, or timeout. On
+// timeout the followers still behind are dropped from the hub — they
+// rejoin (and re-gate acknowledgements) on their next poll — and their
+// count is returned so the server can export it as a sync stall.
+func (h *Hub) AwaitDelivery(sid string, seq uint64, timeout time.Duration) (stalled int) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		h.mu.Lock()
+		now := time.Now()
+		behind := 0
+		for _, fid := range h.connectedLocked(sid, now) {
+			if h.followers[fid].delivered[sid] < seq {
+				behind++
+			}
+		}
+		if behind == 0 {
+			h.mu.Unlock()
+			return 0
+		}
+		ch := h.delivered
+		h.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			h.mu.Lock()
+			dropped := 0
+			for _, fid := range h.connectedLocked(sid, time.Now()) {
+				if h.followers[fid].delivered[sid] < seq {
+					delete(h.followers, fid)
+					dropped++
+				}
+			}
+			h.mu.Unlock()
+			return dropped
+		}
+	}
+}
+
+// MinAcked returns the lowest acked sequence for sid across connected
+// followers, and whether any follower is attached to sid at all. The
+// checkpointer uses it as a truncation floor so shipping never races
+// segment deletion for a live follower.
+func (h *Hub) MinAcked(sid string) (uint64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := time.Now()
+	min, any := uint64(0), false
+	for _, fid := range h.connectedLocked(sid, now) {
+		a := h.followers[fid].acked[sid]
+		if !any || a < min {
+			min, any = a, true
+		}
+	}
+	return min, any
+}
+
+// Followers returns the number of recently-seen followers.
+func (h *Hub) Followers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := time.Now()
+	n := 0
+	for _, f := range h.followers {
+		if now.Sub(f.lastSeen) <= h.staleAfter {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package replication
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHubCommitWakesWaiters(t *testing.T) {
+	h := NewHub(time.Minute)
+	done := make(chan bool, 1)
+	go func() {
+		done <- h.WaitCommit(context.Background(), "s-a", 5, 10*time.Second)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.NotifyCommit("s-a", 6)
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("WaitCommit returned false after a commit beyond the watermark")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitCommit did not wake")
+	}
+	if got := h.Committed("s-a"); got != 6 {
+		t.Fatalf("Committed = %d, want 6", got)
+	}
+	// Already-satisfied waits return immediately.
+	if !h.WaitCommit(context.Background(), "s-a", 0, 0) {
+		t.Fatal("satisfied WaitCommit returned false")
+	}
+	// Timeouts return false without a commit.
+	if h.WaitCommit(context.Background(), "s-a", 100, 10*time.Millisecond) {
+		t.Fatal("WaitCommit invented a commit")
+	}
+}
+
+func TestHubDeliveryGate(t *testing.T) {
+	h := NewHub(time.Minute)
+	// No follower attached: acknowledgements must not stall.
+	if stalled := h.AwaitDelivery("s-a", 3, time.Millisecond); stalled != 0 {
+		t.Fatalf("AwaitDelivery with no followers stalled %d", stalled)
+	}
+
+	h.Seen("f1", "s-a", 0)
+	// f1 is attached but has not received seq 3: a bounded wait times out
+	// and drops it from the sync set.
+	if stalled := h.AwaitDelivery("s-a", 3, 10*time.Millisecond); stalled != 1 {
+		t.Fatalf("AwaitDelivery should have dropped 1 laggard, got %d", stalled)
+	}
+	if n := h.Followers(); n != 0 {
+		t.Fatalf("laggard not dropped: %d followers", n)
+	}
+
+	// Delivery during the wait releases the gate with no stall.
+	h.Seen("f1", "s-a", 0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var stalled int
+	go func() {
+		defer wg.Done()
+		stalled = h.AwaitDelivery("s-a", 3, 10*time.Second)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.Delivered("f1", "s-a", 3)
+	wg.Wait()
+	if stalled != 0 {
+		t.Fatalf("AwaitDelivery stalled %d after timely delivery", stalled)
+	}
+
+	// A follower attached to a different session does not gate s-a.
+	h.Seen("f2", "s-b", 0)
+	if stalled := h.AwaitDelivery("s-a", 4, time.Millisecond); stalled != 1 {
+		// f1 is still attached at delivered=3 < 4.
+		t.Fatalf("stalled = %d, want 1 (only f1 gates s-a)", stalled)
+	}
+}
+
+func TestHubMinAcked(t *testing.T) {
+	h := NewHub(time.Minute)
+	if _, ok := h.MinAcked("s-a"); ok {
+		t.Fatal("MinAcked invented a follower")
+	}
+	h.Seen("f1", "s-a", 7)
+	h.Seen("f2", "s-a", 3)
+	if min, ok := h.MinAcked("s-a"); !ok || min != 3 {
+		t.Fatalf("MinAcked = %d,%v want 3,true", min, ok)
+	}
+	// Acked watermarks are monotonic per follower.
+	h.Seen("f2", "s-a", 2)
+	if min, _ := h.MinAcked("s-a"); min != 3 {
+		t.Fatalf("MinAcked regressed to %d", min)
+	}
+	h.Seen("f2", "s-a", 9)
+	if min, _ := h.MinAcked("s-a"); min != 7 {
+		t.Fatalf("MinAcked = %d, want 7", min)
+	}
+}
+
+func TestHubStaleFollowersIgnored(t *testing.T) {
+	h := NewHub(20 * time.Millisecond)
+	h.Seen("f1", "s-a", 5)
+	time.Sleep(50 * time.Millisecond)
+	if _, ok := h.MinAcked("s-a"); ok {
+		t.Fatal("stale follower still holds the truncation floor")
+	}
+	if n := h.Followers(); n != 0 {
+		t.Fatalf("Followers = %d, want 0", n)
+	}
+	if stalled := h.AwaitDelivery("s-a", 100, time.Millisecond); stalled != 0 {
+		t.Fatalf("stale follower gated delivery: %d", stalled)
+	}
+}
+
+func TestEpochPersistence(t *testing.T) {
+	dir := t.TempDir()
+	if e, err := LoadEpoch(dir); err != nil || e != 1 {
+		t.Fatalf("fresh LoadEpoch = %d, %v (want 1)", e, err)
+	}
+	if err := StoreEpoch(dir, 7); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := LoadEpoch(dir); err != nil || e != 7 {
+		t.Fatalf("LoadEpoch = %d, %v (want 7)", e, err)
+	}
+}

@@ -1,0 +1,65 @@
+package replication
+
+import "encoding/json"
+
+// Wire paths and headers shared by the primary's handlers and the
+// follower's client.
+const (
+	// StatusPath reports the primary's epoch, writability, live
+	// sessions with their chain heads, and published function ids.
+	StatusPath = "/v1/repl/status"
+	// SnapshotPathPrefix + {sid} streams a bootstrap snapshot; the
+	// response headers carry the epoch, wal base sequence, and session
+	// options.
+	SnapshotPathPrefix = "/v1/repl/snapshot/"
+	// WALPathPrefix + {sid}?from=N&follower=ID&wait=D long-polls for
+	// raw WAL frames with sequence > N.
+	WALPathPrefix = "/v1/repl/wal/"
+
+	// HeaderEpoch carries the primary's replication epoch on snapshot
+	// and WAL responses.
+	HeaderEpoch = "X-Bfbdd-Repl-Epoch"
+	// HeaderBaseSeq carries the snapshot's wal base sequence: the
+	// snapshot reflects every record with sequence <= base.
+	HeaderBaseSeq = "X-Bfbdd-Repl-Base-Seq"
+	// HeaderLastSeq carries the sequence of the last frame in a WAL
+	// batch response.
+	HeaderLastSeq = "X-Bfbdd-Repl-Last-Seq"
+	// HeaderOptions carries the session's wire SessionOptions JSON on a
+	// snapshot response, so the follower rebuilds the session under the
+	// primary's engine configuration.
+	HeaderOptions = "X-Bfbdd-Repl-Options"
+)
+
+// SessionStatus is one session's replication coordinates.
+type SessionStatus struct {
+	Session string `json:"session"`
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// Status is the /v1/repl/status response body.
+type Status struct {
+	Epoch    uint64          `json:"epoch"`
+	Writable bool            `json:"writable"`
+	Sessions []SessionStatus `json:"sessions"`
+	Funcs    []string        `json:"funcs"`
+}
+
+// SnapshotInfo is the header metadata of a bootstrap snapshot stream.
+type SnapshotInfo struct {
+	Epoch   uint64
+	BaseSeq uint64
+	Options json.RawMessage
+}
+
+// WALBatch is one long-poll result: raw WAL frames (decode with
+// wal.ScanFrames) covering sequences (From, LastSeq].
+type WALBatch struct {
+	Epoch   uint64
+	LastSeq uint64
+	Frames  []byte
+	// Truncated reports that the connection died mid-body: Frames is a
+	// prefix of what the primary sent (possibly ending in a torn frame)
+	// and the caller should apply what parses, then reconnect.
+	Truncated bool
+}

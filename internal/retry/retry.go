@@ -1,0 +1,91 @@
+// Package retry implements capped exponential backoff with full
+// jitter, the retry discipline shared by the checkpointer and the
+// replication follower's reconnect loop.
+//
+// The jitter follows the "equal jitter" variant: each sleep is half
+// the current deterministic delay plus a uniformly random amount up to
+// the full delay, so concurrent retriers decorrelate without ever
+// sleeping less than half the intended backoff. The delay doubles
+// after every attempt until it reaches the cap.
+package retry
+
+import (
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// Policy describes a backoff schedule. The zero value is not useful;
+// construct one explicitly or take a package-level default.
+type Policy struct {
+	// Base is the first delay. Subsequent delays double until Cap.
+	Base time.Duration
+	// Cap bounds the deterministic component of the delay.
+	Cap time.Duration
+	// Attempts is the maximum number of calls to the function. Zero
+	// or negative means retry forever (until stop fires or the
+	// function succeeds or returns a permanent error).
+	Attempts int
+}
+
+// permanent wraps an error that must not be retried.
+type permanent struct{ err error }
+
+func (p permanent) Error() string { return p.err.Error() }
+func (p permanent) Unwrap() error { return p.err }
+
+// Permanent marks err as non-retryable: Do returns the underlying
+// error immediately instead of sleeping and retrying. A nil err is
+// returned as nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanent{err}
+}
+
+// ErrStopped is returned by Do when the stop channel fires before the
+// function succeeds.
+var ErrStopped = errors.New("retry: stopped")
+
+// Do calls fn until it returns nil or a Permanent-wrapped error, the
+// attempt budget is exhausted, or stop fires mid-sleep. It returns
+// the last error from fn (unwrapped if permanent), except that a stop
+// during the backoff sleep returns ErrStopped joined with the last
+// error so callers can distinguish shutdown from exhaustion.
+func Do(stop <-chan struct{}, p Policy, fn func() error) error {
+	delay := p.Base
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		var perm permanent
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if p.Attempts > 0 && attempt >= p.Attempts {
+			return err
+		}
+		select {
+		case <-stop:
+			return errors.Join(ErrStopped, err)
+		case <-time.After(Jitter(delay)):
+		}
+		if delay *= 2; p.Cap > 0 && delay > p.Cap {
+			delay = p.Cap
+		}
+	}
+}
+
+// Jitter returns the randomized sleep for a deterministic delay:
+// delay/2 plus a uniform draw in [0, delay).
+func Jitter(delay time.Duration) time.Duration {
+	if delay <= 0 {
+		return 0
+	}
+	return delay/2 + rand.N(delay)
+}

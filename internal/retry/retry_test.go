@@ -1,0 +1,110 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDoSucceedsAfterFailures(t *testing.T) {
+	calls := 0
+	err := Do(nil, Policy{Base: time.Microsecond, Cap: time.Millisecond, Attempts: 5}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	sentinel := errors.New("always fails")
+	calls := 0
+	err := Do(nil, Policy{Base: time.Microsecond, Cap: time.Millisecond, Attempts: 4}, func() error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	sentinel := errors.New("bad request")
+	calls := 0
+	err := Do(nil, Policy{Base: time.Hour, Cap: time.Hour, Attempts: 10}, func() error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retries after Permanent)", calls)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must be nil")
+	}
+}
+
+func TestDoStopAbortsSleep(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	sentinel := errors.New("transient")
+	calls := 0
+	// The first sleep would be ~an hour; the closed stop channel must
+	// abort it immediately.
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(stop, Policy{Base: time.Hour, Cap: time.Hour, Attempts: 3}, func() error {
+			calls++
+			return sentinel
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStopped) || !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want ErrStopped joined with %v", err, sentinel)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not honor stop channel")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestDoUnlimitedAttempts(t *testing.T) {
+	calls := 0
+	err := Do(nil, Policy{Base: time.Microsecond, Cap: time.Microsecond}, func() error {
+		calls++
+		if calls < 20 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 20 {
+		t.Fatalf("err=%v calls=%d, want nil/20", err, calls)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		d := Jitter(100 * time.Millisecond)
+		if d < 50*time.Millisecond || d >= 200*time.Millisecond {
+			t.Fatalf("Jitter out of [d/2, 3d/2): %v", d)
+		}
+	}
+	if Jitter(0) != 0 {
+		t.Fatal("Jitter(0) must be 0")
+	}
+}

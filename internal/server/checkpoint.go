@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"log"
-	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"sort"
@@ -16,6 +15,7 @@ import (
 	"time"
 
 	"bfbdd/internal/faultinject"
+	"bfbdd/internal/retry"
 	"bfbdd/internal/wal"
 	"bfbdd/internal/walreplay"
 )
@@ -53,6 +53,10 @@ const (
 type sessionMeta struct {
 	SessionOptions
 	WalBaseSeq uint64 `json:"wal_base_seq,omitempty"`
+	// Epoch is the replication epoch the checkpoint was taken under.
+	// Promotion bumps the epoch and re-checkpoints, so a fenced old
+	// primary's sidecars are recognizably stale next to its segments.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // checkpointer periodically persists every live session to disk and
@@ -78,6 +82,24 @@ type checkpointer struct {
 	// failure and one at recovery instead of a line per interval.
 	failingMu sync.Mutex
 	failing   map[string]struct{}
+
+	// Replication hooks, all optional (nil outside replicated
+	// deployments) and set by the server after newCheckpointer but
+	// before recover()/run() starts:
+	//
+	//	epoch     current replication epoch, stamped into WAL segment
+	//	          headers on open/rotate and into meta sidecars
+	//	ship      commit notification per journal append, wired into
+	//	          recovered sessions (created sessions get it from the
+	//	          registry's wal hooks)
+	//	minAcked  lowest sequence acked by any connected follower, a
+	//	          truncation floor so shipping never races deletion
+	//	retention how far behind snapSeq the floor may hold segments
+	//	          back (records) before laggards are cut loose
+	epoch     func() uint64
+	ship      func(sid string, seq uint64)
+	minAcked  func(sid string) (uint64, bool)
+	retention uint64
 
 	stop chan struct{}
 	done chan struct{}
@@ -162,31 +184,32 @@ func (c *checkpointer) checkpointAll() {
 	}
 }
 
-// checkpointWithRetry drives one session's checkpoint through the retry
-// policy: transient failures back off exponentially (with full jitter, so
-// many sessions hitting the same sick disk don't retry in lockstep) up to
-// checkpointAttempts; shutdown aborts the backoff wait immediately. The
-// staged-temp-then-rename protocol makes every attempt independent — a
-// failed attempt leaves only a temp file (cleaned by its own defer), never
-// a torn committed checkpoint.
+// checkpointWithRetry drives one session's checkpoint through the shared
+// retry policy: transient failures back off exponentially (with jitter,
+// so many sessions hitting the same sick disk don't retry in lockstep)
+// up to checkpointAttempts; shutdown aborts the backoff wait
+// immediately. The staged-temp-then-rename protocol makes every attempt
+// independent — a failed attempt leaves only a temp file (cleaned by its
+// own defer), never a torn committed checkpoint.
 func (c *checkpointer) checkpointWithRetry(s *session) error {
-	delay := checkpointRetryBase
-	for attempt := 1; ; attempt++ {
+	attempt := 0
+	return retry.Do(c.stop, retry.Policy{
+		Base:     checkpointRetryBase,
+		Cap:      checkpointRetryCap,
+		Attempts: checkpointAttempts,
+	}, func() error {
+		attempt++
 		err := c.checkpointSession(s)
-		if err == nil || errors.Is(err, errCheckpointSkipped) || attempt == checkpointAttempts {
-			return err
+		if errors.Is(err, errCheckpointSkipped) {
+			// Benign race with delete/expiry; retrying would only
+			// re-discover the session is gone.
+			return retry.Permanent(err)
 		}
-		c.m.checkpointRetries.Add(1)
-		sleep := delay/2 + rand.N(delay)
-		select {
-		case <-c.stop:
-			return err
-		case <-time.After(sleep):
+		if err != nil && attempt < checkpointAttempts {
+			c.m.checkpointRetries.Add(1)
 		}
-		if delay *= 2; delay > checkpointRetryCap {
-			delay = checkpointRetryCap
-		}
-	}
+		return err
+	})
 }
 
 // noteFailing logs the first failure of a session's checkpoint stream.
@@ -338,10 +361,29 @@ func (c *checkpointer) checkpointSession(s *session) error {
 	c.commitMu.Unlock()
 
 	// The snapshot now covers every record at or below snapSeq; segments
-	// that end there are dead weight. Failure is benign (recovery skips
-	// covered records), so log and carry on.
+	// that end there are dead weight — except those a connected follower
+	// still needs. The truncation point is held back to the slowest
+	// follower's acked sequence, bounded by the retention budget so one
+	// wedged follower cannot pin segments forever (past the budget it is
+	// cut loose and re-bootstraps from a snapshot). Failure is benign
+	// (recovery skips covered records), so log and carry on.
 	if s.wal != nil {
-		if terr := s.wal.TruncateTo(snapSeq); terr != nil {
+		trunc := snapSeq
+		if c.minAcked != nil {
+			if acked, ok := c.minAcked(s.id); ok {
+				floor := uint64(0)
+				if snapSeq > c.retention {
+					floor = snapSeq - c.retention
+				}
+				if acked < floor {
+					acked = floor
+				}
+				if acked < trunc {
+					trunc = acked
+				}
+			}
+		}
+		if terr := s.wal.TruncateTo(trunc); terr != nil {
 			log.Printf("server: wal truncation of session %s failed: %v", s.id, terr)
 		}
 	}
@@ -351,7 +393,11 @@ func (c *checkpointer) checkpointSession(s *session) error {
 // writeMetaTemp stages the session's meta sidecar as a temp file and
 // returns its path; the caller renames it into place (or removes it).
 func (c *checkpointer) writeMetaTemp(s *session, snapSeq uint64) (string, error) {
-	data, err := json.Marshal(sessionMeta{SessionOptions: s.opts, WalBaseSeq: snapSeq})
+	meta := sessionMeta{SessionOptions: s.opts, WalBaseSeq: snapSeq}
+	if c.epoch != nil {
+		meta.Epoch = c.epoch()
+	}
+	data, err := json.Marshal(meta)
 	if err != nil {
 		return "", err
 	}
@@ -521,7 +567,7 @@ func (c *checkpointer) recoverSession(id string) error {
 		if err != nil {
 			return err
 		}
-		s, err = c.reg.restore(id, meta.SessionOptions, f, false)
+		s, err = c.reg.restore(id, meta.SessionOptions, f, nil)
 		f.Close()
 		if err != nil {
 			return err
@@ -560,12 +606,20 @@ func (c *checkpointer) recoverSession(id string) error {
 		_ = c.reg.closeSession(id)
 		return nil
 	}
-	lg, err := wal.Open(c.walDir, id, stats.LastSeq, c.walOpts, &c.m.wal)
+	o := c.walOpts
+	if c.epoch != nil {
+		o.Epoch = c.epoch()
+	}
+	lg, err := wal.Open(c.walDir, id, stats.LastSeq, o, &c.m.wal)
 	if err != nil {
 		c.reg.discard(id)
 		return fmt.Errorf("wal attach: %w", err)
 	}
 	s.wal = lg
+	if c.ship != nil {
+		sid := s.id
+		s.ship = func(seq uint64) { c.ship(sid, seq) }
+	}
 	return nil
 }
 

@@ -286,6 +286,9 @@ func (a *artifact) info() funcInfo {
 // survives session close, expiry, and poisoning, and its bytes live in
 // the artifact pool, not the session budget.
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if s.refuseWrites(w) {
+		return
+	}
 	sess, err := s.sessionOf(r)
 	if err != nil {
 		fail(w, err)
@@ -375,6 +378,9 @@ func (s *Server) handleGetFunc(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteFunc(w http.ResponseWriter, r *http.Request) {
+	if s.refuseWrites(w) {
+		return
+	}
 	id := r.PathValue("fid")
 	if err := s.funcs.remove(id); err != nil {
 		fail(w, err)

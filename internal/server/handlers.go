@@ -18,6 +18,7 @@ import (
 	"bfbdd"
 	"bfbdd/internal/faultinject"
 	"bfbdd/internal/node"
+	"bfbdd/internal/replication"
 	"bfbdd/internal/wal"
 )
 
@@ -168,6 +169,10 @@ func (s *Server) routes(mux *http.ServeMux) {
 	handle("DELETE /v1/funcs/{fid}", s.handleDeleteFunc)
 	handle("POST /v1/funcs/{fid}/eval", s.handleEvalFunc)
 	handle("POST /v1/funcs/{fid}/query", s.handleQueryFunc)
+	handle("GET "+replication.StatusPath, s.handleReplStatus)
+	handle("GET "+replication.SnapshotPathPrefix+"{sid}", s.handleReplSnapshot)
+	handle("GET "+replication.WALPathPrefix+"{sid}", s.handleReplWAL)
+	handle("POST /v1/admin/promote", s.handlePromote)
 }
 
 // sessionOf resolves the {sid} path segment and touches the session's
@@ -265,7 +270,7 @@ func (s *Server) info(sess *session) sessionInfo {
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w) {
 		return
 	}
 	var req SessionOptions
@@ -303,6 +308,9 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	if s.refuseWrites(w) {
+		return
+	}
 	id := r.PathValue("sid")
 	// Journal the close before tearing down: the normal path removes every
 	// durability file anyway, but a crash between this acknowledgment and
@@ -326,7 +334,7 @@ type handleResp struct {
 }
 
 func (s *Server) handleVar(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -370,7 +378,7 @@ func (s *Server) handleVar(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleConst(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -411,7 +419,7 @@ func (s *Server) handleConst(w http.ResponseWriter, r *http.Request) {
 // handleApply is the coalesced binary-apply endpoint: concurrent applies
 // landing within the coalescing window ride one engine batch.
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -445,7 +453,7 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 // engine unit (the client-side variant of what the coalescer does
 // implicitly).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -565,7 +573,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleITE(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -613,7 +621,7 @@ func (s *Server) handleITE(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNot(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -651,7 +659,7 @@ func (s *Server) handleNot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -700,7 +708,7 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRestrict(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -740,7 +748,7 @@ func (s *Server) handleRestrict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -784,6 +792,9 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
+	if s.refuseWrites(w) {
+		return
+	}
 	sess, err := s.sessionOf(r)
 	if err != nil {
 		fail(w, err)
@@ -911,6 +922,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	if s.refuseWrites(w) {
+		return
+	}
 	sess, err := s.sessionOf(r)
 	if err != nil {
 		fail(w, err)
@@ -1027,8 +1041,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		// Audit record only — it carries no session state, so a journal
-		// failure must not fail the export the client already has bytes for.
-		_ = sess.journal(wal.SnapshotRec{})
+		// failure must not fail the export the client already has bytes
+		// for. Skipped on a follower: a locally minted sequence would
+		// collide with the primary's replicated stream.
+		if !s.isFollower() {
+			_ = sess.journal(wal.SnapshotRec{})
+		}
 		return nil
 	})
 	if err != nil {
@@ -1048,7 +1066,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // workers, gc_policy), and ?session= asks for a specific session id —
 // refused with 409 if that id is live or still being torn down.
 func (s *Server) handleRestoreSession(w http.ResponseWriter, r *http.Request) {
-	if s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w) {
 		return
 	}
 	q := r.URL.Query()
@@ -1065,7 +1083,7 @@ func (s *Server) handleRestoreSession(w http.ResponseWriter, r *http.Request) {
 		opts.Workers = n
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSnapshotBytes)
-	sess, err := s.reg.restore(q.Get("session"), opts, body, true)
+	sess, err := s.reg.restore(q.Get("session"), opts, body, s.reg.walAdopt)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {

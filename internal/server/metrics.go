@@ -76,6 +76,21 @@ type metrics struct {
 	funcEvalAssignments atomic.Uint64
 	funcBatchSizes      batchHistogram
 
+	// Replication counters. The primary side counts what it ships and
+	// how often acknowledgments stalled on follower delivery; the
+	// follower side counts what it applied, received, bootstrapped,
+	// reconnected, and refused for carrying a stale epoch.
+	replBatchesShipped      atomic.Uint64
+	replBytesShipped        atomic.Uint64
+	replSnapshotsServed     atomic.Uint64
+	replSnapshotBytesServed atomic.Uint64
+	replSyncStalls          atomic.Uint64
+	replRecordsApplied      atomic.Uint64
+	replBytesReceived       atomic.Uint64
+	replReconnects          atomic.Uint64
+	replBootstraps          atomic.Uint64
+	replStaleEpochRefusals  atomic.Uint64
+
 	// wal aggregates the write-ahead-log counters across every session's
 	// log (the wal package updates them directly; ChainRejects also from
 	// the recovery path).
@@ -213,6 +228,32 @@ func (s *Server) metricsHandler() http.Handler {
 		counter("bfbdd_wal_chain_rejects_total", "Recoveries refused because the checkpoint and WAL did not chain.", m.wal.ChainRejects.Load())
 		fmt.Fprintf(bw, "# HELP bfbdd_wal_recovery_seconds Wall time of the last startup recovery pass.\n# TYPE bfbdd_wal_recovery_seconds gauge\nbfbdd_wal_recovery_seconds %g\n",
 			float64(m.walRecoveryNs.Load())/1e9)
+
+		if s.ckpt != nil {
+			gauge("bfbdd_repl_epoch", "Current replication fencing epoch.", int64(s.epoch.Load()))
+			writable := int64(1)
+			if s.isFollower() {
+				writable = 0
+			}
+			gauge("bfbdd_repl_writable", "1 when this server accepts mutations, 0 on a read-only follower.", writable)
+			gauge("bfbdd_repl_followers", "Recently-connected followers.", int64(s.hub.Followers()))
+			counter("bfbdd_repl_batches_shipped_total", "WAL batches shipped to followers.", m.replBatchesShipped.Load())
+			counter("bfbdd_repl_bytes_shipped_total", "WAL bytes shipped to followers.", m.replBytesShipped.Load())
+			counter("bfbdd_repl_snapshots_served_total", "Bootstrap snapshots served to followers.", m.replSnapshotsServed.Load())
+			counter("bfbdd_repl_snapshot_bytes_served_total", "Bootstrap snapshot bytes served to followers.", m.replSnapshotBytesServed.Load())
+			counter("bfbdd_repl_sync_stalls_total", "Followers dropped from the sync set after stalling an acknowledgment.", m.replSyncStalls.Load())
+			counter("bfbdd_repl_records_applied_total", "Replicated WAL records applied locally.", m.replRecordsApplied.Load())
+			counter("bfbdd_repl_bytes_received_total", "Bytes received from the primary (WAL, snapshots, artifacts).", m.replBytesReceived.Load())
+			counter("bfbdd_repl_reconnects_total", "Reconnect attempts after a replication stream or status failure.", m.replReconnects.Load())
+			counter("bfbdd_repl_bootstraps_total", "Snapshot bootstraps started.", m.replBootstraps.Load())
+			counter("bfbdd_repl_stale_epoch_refusals_total", "Batches refused for carrying an epoch below the local one.", m.replStaleEpochRefusals.Load())
+			if s.fol != nil {
+				records, wall := s.fol.lag()
+				gauge("bfbdd_repl_lag_records", "Records the follower trails the primary by, summed over sessions.", int64(records))
+				fmt.Fprintf(bw, "# HELP bfbdd_repl_lag_seconds Wall time the most-behind session has been behind.\n# TYPE bfbdd_repl_lag_seconds gauge\nbfbdd_repl_lag_seconds %g\n",
+					wall.Seconds())
+			}
+		}
 
 		s.writeRouteMetrics(bw)
 		s.writeSessionMetrics(bw)

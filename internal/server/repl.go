@@ -1,0 +1,341 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"bfbdd/internal/faultinject"
+	"bfbdd/internal/replication"
+	"bfbdd/internal/wal"
+)
+
+// Primary-side replication surface: the status/snapshot/WAL endpoints a
+// follower consumes, the promotion entry point, the follower write
+// fence, and the readiness probe. The follower side lives in
+// follower.go.
+
+// replMaxBatchBytes bounds one WAL long-poll response. A bootstrapping
+// follower catches up in successive polls rather than one giant body,
+// so a slow link never pins a multi-gigabyte buffer on the primary.
+const replMaxBatchBytes = 4 << 20
+
+// replWaitMax caps the client-requested long-poll window; it must stay
+// below the hub's staleness bound or idle followers would flap out of
+// the sync set between polls.
+const replWaitMax = 30 * time.Second
+
+// isFollower reports whether the server is currently a read-only
+// replica: started with Config.FollowURL and not yet promoted.
+func (s *Server) isFollower() bool {
+	return s.fol != nil && !s.fol.promoted.Load()
+}
+
+// StartDrain flips /readyz unready so load balancers stop routing new
+// work here ahead of a graceful stop. Serving itself continues.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// refuseWrites answers a mutation on a follower with 421 (misdirected
+// request) and the primary's URL, and reports whether it did. Every
+// mutating handler calls it first; read paths stay open.
+func (s *Server) refuseWrites(w http.ResponseWriter) bool {
+	if !s.isFollower() {
+		return false
+	}
+	writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+		"error":   fmt.Sprintf("read-only follower at epoch %d: writes must go to the primary", s.epoch.Load()),
+		"primary": s.cfg.FollowURL,
+	})
+	return true
+}
+
+// replCommit is the per-session ship hook: it wakes long-polling
+// followers after every journal append and, under -wal-sync=always,
+// holds the acknowledgment until the committed records have reached
+// every connected follower's socket (or the sync timeout drops the
+// laggards — counted, never silently absorbed).
+func (s *Server) replCommit(sid string, seq uint64) {
+	if s.hub == nil {
+		return
+	}
+	s.hub.NotifyCommit(sid, seq)
+	if s.walPolicy == wal.SyncAlways {
+		if stalled := s.hub.AwaitDelivery(sid, seq, s.cfg.ReplSyncTimeout); stalled > 0 {
+			s.metrics.replSyncStalls.Add(uint64(stalled))
+		}
+	}
+}
+
+// adoptEpoch raises the server's fencing epoch to epoch (never lowers
+// it) and persists it. Followers call it when the primary's responses
+// carry a newer epoch than their own.
+func (s *Server) adoptEpoch(epoch uint64) {
+	for {
+		cur := s.epoch.Load()
+		if epoch <= cur {
+			return
+		}
+		if s.epoch.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
+	if s.cfg.CheckpointDir != "" {
+		if err := replication.StoreEpoch(s.cfg.CheckpointDir, epoch); err != nil {
+			log.Printf("server: cannot persist adopted epoch %d: %v", epoch, err)
+		}
+	}
+}
+
+// Promote seals replication and makes this server writable at a bumped
+// epoch. On a server that never followed anyone it reports
+// already-primary without touching the epoch. It returns the serving
+// epoch and whether the server was already writable.
+func (s *Server) Promote() (epoch uint64, already bool, err error) {
+	if s.fol == nil {
+		return s.epoch.Load(), true, nil
+	}
+	return s.fol.promote()
+}
+
+// handleReplStatus reports the replication coordinates a follower
+// reconciles against: epoch, writability, every live session with its
+// WAL chain head, and the published function ids.
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	if s.ckpt == nil {
+		writeError(w, http.StatusServiceUnavailable, "replication requires a checkpoint dir")
+		return
+	}
+	st := replication.Status{
+		Epoch:    s.epoch.Load(),
+		Writable: !s.isFollower(),
+		Sessions: []replication.SessionStatus{},
+		Funcs:    []string{},
+	}
+	for _, sess := range s.reg.list() {
+		if sess.wal == nil {
+			continue
+		}
+		st.Sessions = append(st.Sessions, replication.SessionStatus{
+			Session: sess.id,
+			LastSeq: sess.wal.Seq(),
+		})
+	}
+	for _, a := range s.funcs.list() {
+		st.Funcs = append(st.Funcs, a.id)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleReplSnapshot streams a bootstrap snapshot of one session. The
+// executor task captures the WAL sequence the snapshot covers, so the
+// (snapshot, base) pair chains exactly: the follower applies records
+// with sequence > base on top and misses nothing. Deliberately not
+// journaled as an audit record — a replicated sequence consumed by a
+// bootstrap would collide with the stream the follower applies.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.ckpt == nil {
+		writeError(w, http.StatusServiceUnavailable, "replication requires a checkpoint dir")
+		return
+	}
+	// reg.get, not sessionOf: replication traffic must not reset the
+	// session's idle clock (followers would keep every session alive
+	// forever) — but a poisoned session's state is still untrustworthy.
+	sess, err := s.reg.get(r.PathValue("sid"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if sess.isPoisoned() {
+		fail(w, fmt.Errorf("%w: %s", errSessionPoisoned, sess.id))
+		return
+	}
+	var buf bytes.Buffer
+	var base uint64
+	err = sess.exec.submit(r.Context(), func(context.Context) error {
+		if sess.wal != nil {
+			base = sess.wal.Seq()
+		}
+		return sess.snapshotTo(&buf)
+	})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	opts, err := json.Marshal(sess.opts)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	w.Header().Set(replication.HeaderEpoch, strconv.FormatUint(s.epoch.Load(), 10))
+	w.Header().Set(replication.HeaderBaseSeq, strconv.FormatUint(base, 10))
+	w.Header().Set(replication.HeaderOptions, string(opts))
+	w.WriteHeader(http.StatusOK)
+	n, _ := buf.WriteTo(w)
+	s.metrics.replSnapshotsServed.Add(1)
+	s.metrics.replSnapshotBytesServed.Add(uint64(n))
+}
+
+// handleReplWAL is the long-poll WAL shipping endpoint: raw frames with
+// sequence in (from, head], straight off the on-disk segments (which
+// hold exactly the committed, fsynced-per-policy history — shipping
+// never outruns durability). 204 when nothing new arrived within the
+// wait window; 410 when the range was truncated away and the follower
+// must re-bootstrap from a snapshot.
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	if s.ckpt == nil {
+		writeError(w, http.StatusServiceUnavailable, "replication requires a checkpoint dir")
+		return
+	}
+	sid := r.PathValue("sid")
+	sess, err := s.reg.get(sid)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	q := r.URL.Query()
+	var from uint64
+	if v := q.Get("from"); v != "" {
+		if from, err = strconv.ParseUint(v, 10, 64); err != nil {
+			fail(w, fmt.Errorf("%w: bad from %q", errBadRequest, v))
+			return
+		}
+	}
+	fid := q.Get("follower")
+	wait := 10 * time.Second
+	if v := q.Get("wait"); v != "" {
+		if d, perr := time.ParseDuration(v); perr == nil && d >= 0 {
+			wait = d
+		}
+	}
+	if wait > replWaitMax {
+		wait = replWaitMax
+	}
+	if fid != "" {
+		// from doubles as the follower's acked watermark: it owns
+		// everything at or below it, which is what the checkpointer's
+		// truncation floor protects.
+		s.hub.Seen(fid, sid, from)
+	}
+
+	head := uint64(0)
+	if sess.wal != nil {
+		head = sess.wal.Seq()
+	}
+	if head <= from {
+		s.hub.WaitCommit(r.Context(), sid, from, wait)
+		if sess.wal != nil {
+			head = sess.wal.Seq()
+		}
+		if head <= from {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
+
+	frames, last, err := wal.CollectFrames(s.ckpt.walDir, sid, from, head, replMaxBatchBytes)
+	if err != nil {
+		if errors.Is(err, wal.ErrNoChain) {
+			writeError(w, http.StatusGone,
+				fmt.Sprintf("records after %d truncated away; bootstrap from a snapshot", from))
+			return
+		}
+		fail(w, err)
+		return
+	}
+	if len(frames) == 0 {
+		// head > from yet the chain produced nothing: the range was
+		// truncated into a snapshot (the post-truncation segment is still
+		// empty, so CollectFrames sees no gap to report). Only a
+		// bootstrap can continue from here.
+		writeError(w, http.StatusGone,
+			fmt.Sprintf("records after %d truncated away; bootstrap from a snapshot", from))
+		return
+	}
+	if faultinject.Enabled {
+		if ferr := faultinject.Check(faultinject.ReplShip); ferr != nil {
+			// Simulate a connection severed mid-body: ship a torn prefix.
+			// The follower's frame scan stops at the tear, applies the
+			// clean prefix, and repolls from there — exactly the real
+			// disconnect recovery path.
+			frames = frames[:len(frames)/2]
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(frames)))
+	w.Header().Set(replication.HeaderEpoch, strconv.FormatUint(s.epoch.Load(), 10))
+	w.Header().Set(replication.HeaderLastSeq, strconv.FormatUint(last, 10))
+	w.WriteHeader(http.StatusOK)
+	if _, werr := w.Write(frames); werr != nil {
+		return // connection died; the follower applies the prefix it got
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	if fid != "" {
+		s.hub.Delivered(fid, sid, last)
+	}
+	s.metrics.replBatchesShipped.Add(1)
+	s.metrics.replBytesShipped.Add(uint64(len(frames)))
+}
+
+// handlePromote is POST /v1/admin/promote: seal replication, bump and
+// persist the fencing epoch, stamp it into every live WAL, and serve
+// writable. Idempotent — promoting a primary reports already_primary.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	epoch, already, err := s.Promote()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("promotion failed: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":           epoch,
+		"promoted":        !already,
+		"already_primary": already,
+	})
+}
+
+// handleReadyz is the readiness probe: 503 while draining, while a
+// follower is still bootstrapping, when its primary has gone silent,
+// or when its replication lag exceeds Config.ReadyMaxLag. Liveness
+// stays on /healthz, which never flips.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type readiness struct {
+		Ready      bool    `json:"ready"`
+		Role       string  `json:"role"`
+		Epoch      uint64  `json:"epoch"`
+		Reason     string  `json:"reason,omitempty"`
+		LagRecords uint64  `json:"lag_records,omitempty"`
+		LagSeconds float64 `json:"lag_seconds,omitempty"`
+	}
+	resp := readiness{Ready: true, Role: "primary", Epoch: s.epoch.Load()}
+	if s.isFollower() {
+		resp.Role = "follower"
+		records, wall := s.fol.lag()
+		resp.LagRecords, resp.LagSeconds = records, wall.Seconds()
+		switch {
+		case !s.fol.bootstrapped.Load():
+			resp.Ready, resp.Reason = false, "bootstrap in progress"
+		case s.fol.sincePrimaryContact() > replPrimarySilence:
+			resp.Ready, resp.Reason = false, "primary unreachable"
+		case wall > s.cfg.ReadyMaxLag:
+			resp.Ready, resp.Reason = false,
+				fmt.Sprintf("replication lag %s exceeds %s", wall.Round(time.Millisecond), s.cfg.ReadyMaxLag)
+		}
+	}
+	if s.draining.Load() {
+		resp.Ready, resp.Reason = false, "draining"
+	}
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}

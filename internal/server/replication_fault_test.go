@@ -1,0 +1,54 @@
+//go:build faultinject
+
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"bfbdd/internal/faultinject"
+)
+
+// TestReplicationShipTornBatchInjected severs the WAL stream mid-batch
+// at the shipping fault point: the primary sends only half the frame
+// bytes of one batch, cutting inside a frame. The follower must apply
+// the intact prefix, back off if nothing parsed, refetch the tail on the
+// next poll, and converge to the primary's exact functions — the same
+// recovery path a real connection death mid-body exercises.
+func TestReplicationShipTornBatchInjected(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+
+	_, ts1 := testServer(t, walConfig(t.TempDir()))
+	sid := createSession(t, ts1.URL, SessionOptions{Vars: 8})
+	mkVar(t, ts1.URL, sid, 0, false)
+
+	_, ts2 := testServer(t, followConfig(t.TempDir(), ts1.URL))
+	waitUntil(t, 30*time.Second, "follower readiness", func() bool {
+		return readyzCode(t, ts2.URL) == http.StatusOK
+	})
+
+	// Tear the next two non-empty batches, then ship cleanly.
+	faultinject.Arm(faultinject.ReplShip, faultinject.FailFirst(2))
+
+	// A burst of acknowledged mutations forms the batches that get torn.
+	ledger := map[uint64]string{}
+	for i := 1; i < 8; i++ {
+		h := mkVar(t, ts1.URL, sid, i, i%2 == 0)
+		ledger[h] = sigOf(t, ts1.URL, sid, h)
+	}
+
+	for h, want := range ledger {
+		h, want := h, want
+		waitUntil(t, 30*time.Second, "torn-batch convergence", func() bool {
+			c, o := call(t, "POST", ts2.URL+"/v1/sessions/"+sid+"/query",
+				map[string]any{"kind": "signature", "f": h})
+			s, _ := o["signature"].(string)
+			return c == http.StatusOK && s == want
+		})
+	}
+	if faultinject.Fired(faultinject.ReplShip) == 0 {
+		t.Fatal("the shipping fault never fired; the test tore nothing")
+	}
+}

@@ -1,0 +1,406 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bfbdd/internal/replication"
+	"bfbdd/internal/wal"
+)
+
+// followConfig is walConfig plus the hot-standby knobs pointed at primary.
+func followConfig(dir, primary string) Config {
+	cfg := walConfig(dir)
+	cfg.FollowURL = primary
+	return cfg
+}
+
+// waitUntil polls cond every 25ms until it returns true or the deadline
+// passes; the follower machinery is asynchronous (status reconcile every
+// second, bootstrap on a puller goroutine), so tests converge on state
+// instead of sleeping fixed amounts.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// readyzCode fetches /readyz without asserting a status.
+func readyzCode(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestReplicationFollowerServesReadsAndPromotes is the end-to-end
+// lifecycle: a follower bootstraps a primary's session from a snapshot,
+// serves every read with identical signatures, refuses writes with 421
+// and the primary's URL, streams new records within the lag bound,
+// promotes into a writable primary at a bumped epoch, and leaves behind
+// a WAL history that fences stale-epoch openers.
+func TestReplicationFollowerServesReadsAndPromotes(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	_, ts1 := testServer(t, walConfig(dir1))
+	sid := createSession(t, ts1.URL, SessionOptions{Vars: 6})
+	ledger := buildMixedWorkload(t, ts1.URL, sid)
+
+	srv2, ts2 := testServer(t, followConfig(dir2, ts1.URL))
+	if !srv2.isFollower() {
+		t.Fatal("server with FollowURL did not come up as a follower")
+	}
+	waitUntil(t, 30*time.Second, "follower readiness", func() bool {
+		return readyzCode(t, ts2.URL) == http.StatusOK
+	})
+
+	// Every handle the primary acknowledged reads back with the same
+	// canonical signature on the follower.
+	for h, want := range ledger {
+		if got := sigOf(t, ts2.URL, sid, h); got != want {
+			t.Errorf("handle %d: follower signature %s, primary acknowledged %s", h, got, want)
+		}
+	}
+
+	// Mutations are misdirected to the primary.
+	code, out := call(t, "POST", ts2.URL+"/v1/sessions/"+sid+"/vars",
+		map[string]any{"index": 5})
+	if code != http.StatusMisdirectedRequest {
+		t.Fatalf("follower mutation: got %d want 421 (body %v)", code, out)
+	}
+	if p, _ := out["primary"].(string); p != ts1.URL {
+		t.Fatalf("421 body points at %q, want the primary %q", out["primary"], ts1.URL)
+	}
+	code, _ = call(t, "POST", ts2.URL+"/v1/sessions", SessionOptions{Vars: 2})
+	if code != http.StatusMisdirectedRequest {
+		t.Fatalf("follower session create: got %d want 421", code)
+	}
+
+	// New records stream across: a fresh mutation on the primary becomes
+	// readable on the follower.
+	nh := mkVar(t, ts1.URL, sid, 5, false)
+	want := sigOf(t, ts1.URL, sid, nh)
+	waitUntil(t, 15*time.Second, "tail replication", func() bool {
+		c, o := call(t, "POST", ts2.URL+"/v1/sessions/"+sid+"/query",
+			map[string]any{"kind": "signature", "f": nh})
+		s, _ := o["signature"].(string)
+		return c == http.StatusOK && s == want
+	})
+
+	// Promote: writable at epoch 2, durably persisted, idempotent.
+	out = mustCall(t, "POST", ts2.URL+"/v1/admin/promote", nil, http.StatusOK)
+	if e, _ := out["epoch"].(float64); e != 2 {
+		t.Fatalf("promote epoch = %v, want 2", out["epoch"])
+	}
+	if p, _ := out["promoted"].(bool); !p {
+		t.Fatalf("promote did not report promoted: %v", out)
+	}
+	if srv2.isFollower() {
+		t.Fatal("still a follower after promote")
+	}
+	ph := mkVar(t, ts2.URL, sid, 4, true)
+	if sigOf(t, ts2.URL, sid, ph) == "" {
+		t.Fatal("post-promote mutation did not produce a signature")
+	}
+	out = mustCall(t, "POST", ts2.URL+"/v1/admin/promote", nil, http.StatusOK)
+	if a, _ := out["already_primary"].(bool); !a {
+		t.Fatalf("second promote not idempotent: %v", out)
+	}
+	if e, err := replication.LoadEpoch(dir2); err != nil || e != 2 {
+		t.Fatalf("persisted epoch = %d, %v; want 2", e, err)
+	}
+
+	// The promoted history is stamped with the new epoch: an opener still
+	// at epoch 1 — a restarted old primary adopting this directory — is
+	// fenced off instead of appending to the newer timeline.
+	cp := copyDurabilityDir(t, dir2)
+	cs, err := wal.VerifyChain(wal.Dir(cp), sid)
+	if err != nil {
+		t.Fatalf("verify promoted chain: %v", err)
+	}
+	if cs.MaxEpoch < 2 {
+		t.Fatalf("promoted chain max epoch = %d, want >= 2", cs.MaxEpoch)
+	}
+	if _, err := wal.Open(wal.Dir(cp), sid, cs.LastSeq,
+		wal.Options{Policy: wal.SyncAlways, Epoch: 1}, nil); !errors.Is(err, wal.ErrFenced) {
+		t.Fatalf("stale-epoch open: got %v, want ErrFenced", err)
+	}
+	if lg, err := wal.Open(wal.Dir(cp), sid, cs.LastSeq,
+		wal.Options{Policy: wal.SyncAlways, Epoch: 2}, nil); err != nil {
+		t.Fatalf("current-epoch open refused: %v", err)
+	} else {
+		lg.Close()
+	}
+}
+
+// TestReplicationFollowerReadyzTransitions: a follower with an
+// unreachable primary never reports ready; a draining primary flips
+// unready while staying alive on /healthz.
+func TestReplicationFollowerReadyzTransitions(t *testing.T) {
+	srv, ts := testServer(t, followConfig(t.TempDir(), "http://127.0.0.1:1")) // nothing listens there
+	if code := readyzCode(t, ts.URL); code != http.StatusServiceUnavailable {
+		t.Fatalf("unbootstrapped follower readyz = %d, want 503", code)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz on follower: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	srv2, ts2 := testServer(t, Config{})
+	if code := readyzCode(t, ts2.URL); code != http.StatusOK {
+		t.Fatalf("primary readyz = %d, want 200", code)
+	}
+	srv2.StartDrain()
+	if code := readyzCode(t, ts2.URL); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", code)
+	}
+	_ = srv
+}
+
+// TestReplicationPrimaryEndpoints exercises the wire surface a follower
+// consumes — status coordinates, snapshot chaining, long-poll batches,
+// the 204 idle answer — plus the truncation coordination: an attached
+// follower's acked watermark holds WAL truncation back, and only after
+// the follower is forgotten does the chain recede to "410, re-bootstrap".
+func TestReplicationPrimaryEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := testServer(t, walConfig(dir))
+	sid := createSession(t, ts.URL, SessionOptions{Vars: 4})
+	v0 := mkVar(t, ts.URL, sid, 0, false)
+	v1 := mkVar(t, ts.URL, sid, 1, false)
+	apply(t, ts.URL, sid, "and", v0, v1)
+
+	client, err := replication.NewClient(ts.URL, "f-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	st, err := client.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Writable || st.Epoch != 1 {
+		t.Fatalf("status = %+v, want writable at epoch 1", st)
+	}
+	var head uint64
+	for _, ss := range st.Sessions {
+		if ss.Session == sid {
+			head = ss.LastSeq
+		}
+	}
+	if head == 0 {
+		t.Fatalf("session %s missing from status %+v", sid, st)
+	}
+
+	rc, info, err := client.Snapshot(ctx, sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	if info.BaseSeq != head || info.Epoch != 1 {
+		t.Fatalf("snapshot info = %+v, want base %d at epoch 1", info, head)
+	}
+
+	batch, err := client.PollWAL(ctx, sid, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch == nil || batch.LastSeq != head || batch.Epoch != 1 {
+		t.Fatalf("full-history batch = %+v, want through seq %d", batch, head)
+	}
+	n := 0
+	if _, err := wal.ScanFrames(batch.Frames, func(wal.Entry) error { n++; return nil }); err != nil {
+		t.Fatalf("shipped frames do not scan: %v", err)
+	}
+	if uint64(n) != head {
+		t.Fatalf("batch carries %d frames, want %d", n, head)
+	}
+
+	// The follower's acked watermark is still 0 (it only ever polled from
+	// 0), so a checkpoint must not truncate the history it still needs.
+	srv.ckpt.checkpointAll()
+	if batch, err = client.PollWAL(ctx, sid, 0, 0); err != nil || batch == nil || batch.LastSeq != head {
+		t.Fatalf("post-checkpoint poll with attached follower: %+v, %v", batch, err)
+	}
+
+	// Caught up: the long poll answers 204 (nil batch) once the wait
+	// window expires with nothing new. Polling from head also raises the
+	// follower's acked watermark there.
+	batch, err = client.PollWAL(ctx, sid, head, 50*time.Millisecond)
+	if err != nil || batch != nil {
+		t.Fatalf("idle poll = %+v, %v; want nil, nil", batch, err)
+	}
+
+	// With everything acked, the next checkpoint truncates below the
+	// snapshot and a full-history poll now demands a bootstrap.
+	srv.ckpt.checkpointAll()
+	if _, err = client.PollWAL(ctx, sid, 0, 0); !errors.Is(err, replication.ErrSnapshotRequired) {
+		t.Fatalf("poll into truncated range: %v, want ErrSnapshotRequired", err)
+	}
+
+	if _, err = client.PollWAL(ctx, "s-nonexistent", 0, 0); !errors.Is(err, replication.ErrSessionGone) {
+		t.Fatalf("poll for unknown session: %v, want ErrSessionGone", err)
+	}
+}
+
+// TestReplicationApplyDedupTornAndStaleEpoch drives the follower's batch
+// apply path directly with crafted wire batches: duplicate delivery
+// after a reconnect skips idempotently, a torn final frame applies the
+// clean prefix, a wholly torn batch errors (backoff, not spin), a
+// sequence gap and a stale-epoch batch both read as divergence.
+func TestReplicationApplyDedupTornAndStaleEpoch(t *testing.T) {
+	srv, ts := testServer(t, walConfig(t.TempDir()))
+	sid := createSession(t, ts.URL, SessionOptions{Vars: 8})
+	v0 := mkVar(t, ts.URL, sid, 0, false)
+	sess, err := srv.reg.get(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sess.wal.Seq()
+
+	f := &follower{s: srv}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	defer f.cancel()
+	p := newPuller(f, sid, base)
+	p.localSeq.Store(base)
+
+	frame := func(seq uint64, idx int) []byte {
+		return wal.AppendFrame(nil, wal.EncodeRecord(seq, wal.VarRec{Handle: v0 + uint64(idx), Index: idx}))
+	}
+	batch := func(frames []byte, last uint64) *replication.WALBatch {
+		return &replication.WALBatch{Epoch: 1, LastSeq: last, Frames: frames}
+	}
+
+	// A clean single-record batch applies and advances the local head.
+	if err := p.apply(sess, batch(frame(base+1, 1), base+1)); err != nil {
+		t.Fatalf("clean apply: %v", err)
+	}
+	if got := sess.wal.Seq(); got != base+1 {
+		t.Fatalf("local head = %d after apply, want %d", got, base+1)
+	}
+	sig1 := sigOf(t, ts.URL, sid, v0+1)
+
+	// Duplicate delivery (a reconnect re-fetching from an older from):
+	// no error, no new append, no signature change.
+	if err := p.apply(sess, batch(frame(base+1, 1), base+1)); err != nil {
+		t.Fatalf("duplicate apply: %v", err)
+	}
+	if got := sess.wal.Seq(); got != base+1 {
+		t.Fatalf("duplicate delivery advanced the log to %d", got)
+	}
+	if got := sigOf(t, ts.URL, sid, v0+1); got != sig1 {
+		t.Fatalf("duplicate delivery changed the function: %s -> %s", sig1, got)
+	}
+
+	// Torn final frame: two records shipped, the last one cut mid-frame.
+	// The intact prefix applies; the refetch then completes the pair
+	// (record one deduped, record two applied).
+	two := append(frame(base+2, 2), frame(base+3, 3)...)
+	if err := p.apply(sess, batch(two[:len(two)-3], base+3)); err != nil {
+		t.Fatalf("torn-tail apply: %v", err)
+	}
+	if got := sess.wal.Seq(); got != base+2 {
+		t.Fatalf("torn tail applied through %d, want the prefix %d", got, base+2)
+	}
+	if err := p.apply(sess, batch(two, base+3)); err != nil {
+		t.Fatalf("refetch after tear: %v", err)
+	}
+	if got := sess.wal.Seq(); got != base+3 {
+		t.Fatalf("refetch applied through %d, want %d", got, base+3)
+	}
+	if sigOf(t, ts.URL, sid, v0+3) == "" {
+		t.Fatal("record after the tear never became readable")
+	}
+
+	// A batch torn inside its first frame carries nothing applicable and
+	// must error so the puller backs off instead of spinning.
+	head := sess.wal.Seq()
+	if err := p.apply(sess, batch(frame(head+1, 4)[:3], head+1)); err == nil {
+		t.Fatal("wholly torn batch applied silently")
+	}
+	if got := sess.wal.Seq(); got != head {
+		t.Fatalf("wholly torn batch advanced the log to %d", got)
+	}
+
+	// A sequence gap is divergence: only a re-bootstrap can continue.
+	if err := p.apply(sess, batch(frame(head+5, 5), head+5)); !errors.Is(err, errReplDiverged) {
+		t.Fatalf("gapped batch: %v, want errReplDiverged", err)
+	}
+
+	// A batch from a fenced-off epoch is refused and counted.
+	srv.epoch.Store(7)
+	before := srv.metrics.replStaleEpochRefusals.Load()
+	err = p.apply(sess, &replication.WALBatch{Epoch: 1, LastSeq: head + 1, Frames: frame(head+1, 6)})
+	if !errors.Is(err, errReplDiverged) || !strings.Contains(fmt.Sprint(err), "stale epoch") {
+		t.Fatalf("stale-epoch batch: %v, want stale-epoch divergence", err)
+	}
+	if got := srv.metrics.replStaleEpochRefusals.Load(); got != before+1 {
+		t.Fatalf("stale-epoch refusals %d -> %d, want +1", before, got)
+	}
+	if got := sess.wal.Seq(); got != head {
+		t.Fatalf("stale-epoch batch advanced the log to %d", got)
+	}
+}
+
+// TestReplicationFollowerRestartResumesWithoutBootstrap: a follower
+// checkpoints what it bootstrapped, so a restarted follower resumes the
+// tail from its own durable copy — zero snapshot re-transfers — and
+// still catches up on records minted while it was down.
+func TestReplicationFollowerRestartResumesWithoutBootstrap(t *testing.T) {
+	dir2 := t.TempDir()
+	_, ts1 := testServer(t, walConfig(t.TempDir()))
+	sid := createSession(t, ts1.URL, SessionOptions{Vars: 4})
+	mkVar(t, ts1.URL, sid, 0, false)
+
+	srvA := New(followConfig(dir2, ts1.URL))
+	tsA := httptest.NewServer(srvA.Handler())
+	waitUntil(t, 30*time.Second, "first follower readiness", func() bool {
+		return readyzCode(t, tsA.URL) == http.StatusOK
+	})
+	if srvA.metrics.replBootstraps.Load() == 0 {
+		t.Fatal("first follower never bootstrapped")
+	}
+	tsA.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err := srvA.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("first follower shutdown: %v", err)
+	}
+
+	// Records minted while the follower is down form the tail the
+	// restarted follower must pull on top of its local checkpoint.
+	nh := mkVar(t, ts1.URL, sid, 1, false)
+	want := sigOf(t, ts1.URL, sid, nh)
+
+	srvB, tsB := testServer(t, followConfig(dir2, ts1.URL))
+	waitUntil(t, 30*time.Second, "restarted follower readiness", func() bool {
+		return readyzCode(t, tsB.URL) == http.StatusOK
+	})
+	waitUntil(t, 15*time.Second, "tail catch-up after restart", func() bool {
+		c, o := call(t, "POST", tsB.URL+"/v1/sessions/"+sid+"/query",
+			map[string]any{"kind": "signature", "f": nh})
+		s, _ := o["signature"].(string)
+		return c == http.StatusOK && s == want
+	})
+	if n := srvB.metrics.replBootstraps.Load(); n != 0 {
+		t.Fatalf("restarted follower re-bootstrapped %d times; want resume from the local checkpoint", n)
+	}
+}

@@ -72,7 +72,7 @@ func TestRestoreRefusedMidClose(t *testing.T) {
 		}
 		runtime.Gosched()
 	}
-	if _, err := srv.reg.restore(id, SessionOptions{}, bytes.NewReader(stream), false); !errors.Is(err, errSessionClosing) {
+	if _, err := srv.reg.restore(id, SessionOptions{}, bytes.NewReader(stream), nil); !errors.Is(err, errSessionClosing) {
 		t.Fatalf("restore mid-close: err = %v, want errSessionClosing", err)
 	}
 
@@ -80,7 +80,7 @@ func TestRestoreRefusedMidClose(t *testing.T) {
 	if err := <-closeDone; err != nil {
 		t.Fatalf("closeSession: %v", err)
 	}
-	restored, err := srv.reg.restore(id, SessionOptions{}, bytes.NewReader(stream), false)
+	restored, err := srv.reg.restore(id, SessionOptions{}, bytes.NewReader(stream), nil)
 	if err != nil {
 		t.Fatalf("restore after close: %v", err)
 	}
@@ -137,7 +137,7 @@ func TestRestoreExpiryRaceStress(t *testing.T) {
 					return
 				default:
 				}
-				_, err := srv.reg.restore(id, SessionOptions{}, bytes.NewReader(stream), false)
+				_, err := srv.reg.restore(id, SessionOptions{}, bytes.NewReader(stream), nil)
 				switch {
 				case err == nil,
 					errors.Is(err, errSessionExists),
@@ -172,7 +172,7 @@ func TestRestoreExpiryRaceStress(t *testing.T) {
 	// session, and a fresh restore eventually succeeds again.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		_, err := srv.reg.restore(id, SessionOptions{}, bytes.NewReader(stream), false)
+		_, err := srv.reg.restore(id, SessionOptions{}, bytes.NewReader(stream), nil)
 		if err == nil || errors.Is(err, errSessionExists) {
 			break
 		}

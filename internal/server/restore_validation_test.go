@@ -48,7 +48,7 @@ func TestRestoreRejectsMalformedSessionID(t *testing.T) {
 		"s-../../0123456789",
 	}
 	for _, id := range bad {
-		if _, err := srv.reg.restore(id, SessionOptions{}, bytes.NewReader(stream), false); !errors.Is(err, errBadRequest) {
+		if _, err := srv.reg.restore(id, SessionOptions{}, bytes.NewReader(stream), nil); !errors.Is(err, errBadRequest) {
 			t.Errorf("restore(%q): err = %v, want errBadRequest", id, err)
 		}
 	}
@@ -70,7 +70,7 @@ func TestRestoreRejectsMalformedSessionID(t *testing.T) {
 	}
 
 	// A well-formed explicit id is still accepted.
-	sess, err := srv.reg.restore("s-00000000deadbeef", SessionOptions{}, bytes.NewReader(stream), false)
+	sess, err := srv.reg.restore("s-00000000deadbeef", SessionOptions{}, bytes.NewReader(stream), nil)
 	if err != nil {
 		t.Fatalf("restore with well-formed id: %v", err)
 	}
@@ -94,7 +94,7 @@ func TestRestoreRejectsHugeHandleID(t *testing.T) {
 	if err := m.SnapshotRoots(&buf, []bfbdd.SnapshotRoot{{ID: math.MaxUint64, B: f}}); err != nil {
 		t.Fatalf("Snapshot: %v", err)
 	}
-	if _, err := srv.reg.restore("", SessionOptions{}, bytes.NewReader(buf.Bytes()), false); !errors.Is(err, errBadRequest) {
+	if _, err := srv.reg.restore("", SessionOptions{}, bytes.NewReader(buf.Bytes()), nil); !errors.Is(err, errBadRequest) {
 		t.Fatalf("restore with handle MaxUint64: err = %v, want errBadRequest", err)
 	}
 	if n := srv.reg.count(); n != 0 {

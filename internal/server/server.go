@@ -26,8 +26,10 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"bfbdd/internal/replication"
 	"bfbdd/internal/wal"
 )
 
@@ -114,6 +116,28 @@ type Config struct {
 	// MaxEvalBatch caps the assignments accepted per eval request; larger
 	// batches are refused with 413.
 	MaxEvalBatch int
+	// FollowURL, when set, starts the server as a hot-standby follower
+	// of the primary at that base URL: sessions are bootstrapped from
+	// the primary's snapshots, kept current by streaming its WAL, and
+	// served read-only (mutations get 421 + the primary's URL) until
+	// promotion. Requires CheckpointDir.
+	FollowURL string
+	// PromoteOnStart bumps the replication epoch before recovery and
+	// serves writable from the first request — the flag a failover
+	// runbook sets when restarting a follower as the new primary. It
+	// takes precedence over FollowURL.
+	PromoteOnStart bool
+	// ReadyMaxLag is the replication lag (wall time behind the primary)
+	// beyond which a follower's /readyz reports unready.
+	ReadyMaxLag time.Duration
+	// ReplRetention bounds how many records behind the newest checkpoint
+	// WAL truncation will hold segments for a lagging follower before
+	// cutting it loose (it re-bootstraps from a snapshot).
+	ReplRetention uint64
+	// ReplSyncTimeout bounds, under WALSync "always", how long an
+	// acknowledgment waits for the committed records to reach every
+	// connected follower's socket before dropping the laggards.
+	ReplSyncTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +180,15 @@ func (c Config) withDefaults() Config {
 	if c.WALSyncInterval <= 0 {
 		c.WALSyncInterval = 100 * time.Millisecond
 	}
+	if c.ReadyMaxLag <= 0 {
+		c.ReadyMaxLag = 2 * time.Second
+	}
+	if c.ReplRetention == 0 {
+		c.ReplRetention = 65536
+	}
+	if c.ReplSyncTimeout <= 0 {
+		c.ReplSyncTimeout = 2 * time.Second
+	}
 	return c
 }
 
@@ -169,6 +202,20 @@ type Server struct {
 	metrics *metrics
 	limits  *limits
 	ckpt    *checkpointer // nil unless cfg.CheckpointDir is set
+
+	// Replication state. hub is the primary-side commit/delivery
+	// rendezvous (nil without a checkpointer); fol is non-nil when this
+	// process started as a follower (it stays non-nil after promotion —
+	// writability is fol.promoted). epoch is the fencing epoch stamped
+	// into WAL segment headers and checkpoint sidecars; walPolicy
+	// mirrors the parsed WALSync so acknowledgments know whether to
+	// gate on follower delivery; draining flips /readyz unready ahead
+	// of a graceful stop.
+	hub       *replication.Hub
+	fol       *follower
+	epoch     atomic.Uint64
+	walPolicy wal.SyncPolicy
+	draining  atomic.Bool
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -192,6 +239,7 @@ func New(cfg Config) *Server {
 		janitorDone: make(chan struct{}),
 	}
 	s.funcs.reload()
+	s.epoch.Store(1)
 	if cfg.CheckpointDir != "" {
 		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 			log.Printf("server: cannot create checkpoint dir %s: %v (persistence disabled)",
@@ -199,7 +247,31 @@ func New(cfg Config) *Server {
 		} else if walOpts, err := walOptions(cfg); err != nil {
 			log.Printf("server: %v (persistence disabled)", err)
 		} else {
+			s.walPolicy = walOpts.Policy
+			// The fencing epoch must be settled before recovery opens any
+			// WAL: a promote-on-start restart opens every recovered log at
+			// the bumped epoch, so the old primary's stale-epoch appends
+			// are refused from the first segment header it writes.
+			epoch, eerr := replication.LoadEpoch(cfg.CheckpointDir)
+			if eerr != nil {
+				log.Printf("server: cannot load replication epoch: %v (starting at 1)", eerr)
+				epoch = 1
+			}
+			if cfg.PromoteOnStart {
+				epoch++
+				if serr := replication.StoreEpoch(cfg.CheckpointDir, epoch); serr != nil {
+					log.Printf("server: cannot persist promoted epoch %d: %v", epoch, serr)
+				}
+				log.Printf("server: promote-on-start: serving writable at epoch %d", epoch)
+			}
+			s.epoch.Store(epoch)
+			s.hub = replication.NewHub(0)
+
 			s.ckpt = newCheckpointer(cfg, walOpts, s.reg, m)
+			s.ckpt.epoch = s.epoch.Load
+			s.ckpt.ship = s.replCommit
+			s.ckpt.minAcked = s.hub.MinAcked
+			s.ckpt.retention = cfg.ReplRetention
 			// Every session created over the API gets a WAL opened at
 			// sequence 0 whose first record is the creation itself, so a
 			// session is reconstructible even before its first checkpoint.
@@ -210,7 +282,9 @@ func New(cfg Config) *Server {
 				if err != nil {
 					return err
 				}
-				lg, err := wal.Open(s.ckpt.walDir, sess.id, 0, walOpts, &m.wal)
+				o := walOpts
+				o.Epoch = s.epoch.Load()
+				lg, err := wal.Open(s.ckpt.walDir, sess.id, 0, o, &m.wal)
 				if err != nil {
 					return err
 				}
@@ -219,6 +293,11 @@ func New(cfg Config) *Server {
 					return err
 				}
 				sess.wal = lg
+				sid := sess.id
+				sess.ship = func(seq uint64) { s.replCommit(sid, seq) }
+				// The creation record committed before ship was attached;
+				// notify it by hand so followers see sequence 1 promptly.
+				sess.ship(lg.Seq())
 				return nil
 			}
 			// A session restored over the API replaces any previous history
@@ -226,16 +305,34 @@ func New(cfg Config) *Server {
 			// or garble the new timeline, so they go first.
 			s.reg.walAdopt = func(sess *session) error {
 				s.ckpt.purge(sess.id)
-				lg, err := wal.Open(s.ckpt.walDir, sess.id, 0, walOpts, &m.wal)
+				o := walOpts
+				o.Epoch = s.epoch.Load()
+				lg, err := wal.Open(s.ckpt.walDir, sess.id, 0, o, &m.wal)
 				if err != nil {
 					return err
 				}
 				sess.wal = lg
+				sid := sess.id
+				sess.ship = func(seq uint64) { s.replCommit(sid, seq) }
 				return nil
 			}
 			s.ckpt.recover()
 			go s.ckpt.run()
+
+			if cfg.FollowURL != "" {
+				if cfg.PromoteOnStart {
+					log.Printf("server: -promote-on-start set; ignoring -follow=%s and serving as primary", cfg.FollowURL)
+				} else if f, ferr := newFollower(s); ferr != nil {
+					log.Printf("server: cannot follow %s: %v (serving standalone)", cfg.FollowURL, ferr)
+				} else {
+					s.fol = f
+					go f.run()
+				}
+			}
 		}
+	}
+	if cfg.FollowURL != "" && s.ckpt == nil {
+		log.Printf("server: -follow requires a checkpoint dir; ignoring -follow=%s", cfg.FollowURL)
 	}
 	go s.janitor()
 	return s
@@ -263,6 +360,12 @@ func (s *Server) janitor() {
 		case <-s.janitorStop:
 			return
 		case <-t.C:
+			if s.isFollower() {
+				// The primary owns session lifecycle; an idle replica
+				// session just mirrors an idle primary session, and
+				// expiring it here would diverge the two.
+				continue
+			}
 			s.reg.expireIdle(s.cfg.SessionIdleExpiry)
 		}
 	}
@@ -276,6 +379,9 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	// Like healthz, readyz bypasses instrumentation and admission: a
+	// load balancer's probe must not be shed by the in-flight cap.
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.metricsHandler())
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -293,6 +399,10 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	s.shutdownOnce.Do(func() {
+		s.StartDrain()
+		if s.fol != nil {
+			s.fol.shutdown()
+		}
 		close(s.janitorStop)
 		select {
 		case <-s.janitorDone:

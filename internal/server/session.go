@@ -203,6 +203,14 @@ type session struct {
 	// goroutine, close and publish records from handler goroutines.
 	wal *wal.Log
 
+	// ship, when non-nil, runs after every successful journal append with
+	// the log's new chain head. The server points it at the replication
+	// hub so long-polling followers wake the moment records commit (and,
+	// under -wal-sync=always, so the acknowledgment can gate on delivery
+	// to every connected follower). Set wherever wal is attached, before
+	// the session serves requests.
+	ship func(seq uint64)
+
 	// poisoned latches when the engine reports an internal fault (an
 	// invariant violation or an unclassifiable panic). A poisoned session
 	// keeps serving 409s so the client sees a stable, diagnosable state,
@@ -351,6 +359,12 @@ func (s *session) journal(recs ...wal.Record) error {
 	}
 	if err := s.wal.Append(recs...); err != nil {
 		return fmt.Errorf("journal: %w", err)
+	}
+	if s.ship != nil {
+		// Seq() may already reflect a racing later append; shipping a
+		// higher watermark is harmless (commit notifications are
+		// monotonic and the frames behind it are equally durable).
+		s.ship(s.wal.Seq())
 	}
 	return nil
 }
@@ -553,11 +567,15 @@ func (r *registry) release(id string) {
 // snapshot stream: the variable count and order and every wire handle
 // come from the stream, the engine configuration from o. The stream
 // header is peeked and vetted against the server's limits before any
-// manager memory is committed. attachWAL selects the client-restore
-// path, which purges stale on-disk state for the id and opens a fresh
-// log; startup recovery passes false and attaches the recovered log
-// itself after replaying the tail.
-func (r *registry) restore(id string, o SessionOptions, src io.Reader, attachWAL bool) (*session, error) {
+// manager memory is committed. attach, when non-nil, runs on the fully
+// built session just before it is committed to the registry — the
+// client-restore path passes the registry's walAdopt hook (purge stale
+// on-disk state, open a fresh log), replication bootstrap opens a log at
+// the snapshot's base sequence. Attaching before commit means the
+// session is never visible without its log: no goroutine can observe
+// s.wal or s.ship being written. Startup recovery passes nil and
+// attaches the recovered log itself before serving begins.
+func (r *registry) restore(id string, o SessionOptions, src io.Reader, attach func(*session) error) (*session, error) {
 	engine, opts, err := o.engineOptions(r.cfg)
 	if err != nil {
 		return nil, err
@@ -619,8 +637,8 @@ func (r *registry) restore(id string, o SessionOptions, src io.Reader, attachWAL
 	s.coal = newCoalescer(s, r.cfg, r.m)
 	s.touch()
 	s.refreshStats()
-	if attachWAL && r.walAdopt != nil {
-		if err := r.walAdopt(s); err != nil {
+	if attach != nil {
+		if err := attach(s); err != nil {
 			s.close()
 			r.release(id)
 			return nil, fmt.Errorf("session wal: %w", err)

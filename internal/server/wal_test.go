@@ -239,7 +239,7 @@ func TestWALRecoveryHonorsCloseRecord(t *testing.T) {
 			sess.seq = st.LastSeq
 		}
 	}
-	lg, err := wal.Open(wal.Dir(dir), sid, sess.seq, wal.Options{Policy: wal.SyncAlways}, nil)
+	lg, err := wal.Open(wal.Dir(dir), sid, sess.seq, wal.Options{Policy: wal.SyncAlways, Epoch: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

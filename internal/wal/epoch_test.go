@@ -1,0 +1,288 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestHeaderEpochRoundtrip(t *testing.T) {
+	b := encodeHeader(42, 7)
+	base, epoch, n, err := ParseHeader(b)
+	if err != nil || base != 42 || epoch != 7 || n != HeaderSize {
+		t.Fatalf("ParseHeader = %d,%d,%d,%v", base, epoch, n, err)
+	}
+}
+
+// encodeHeaderV1 renders the 24-byte version-1 header exactly as older
+// builds wrote it, so compatibility is tested against real v1 bytes.
+func encodeHeaderV1(base uint64) []byte {
+	b := make([]byte, headerSizeV1)
+	copy(b, Magic)
+	binary.LittleEndian.PutUint16(b[8:], 1)
+	binary.LittleEndian.PutUint16(b[10:], 0)
+	binary.LittleEndian.PutUint64(b[12:], base)
+	binary.LittleEndian.PutUint32(b[20:], crc32.ChecksumIEEE(b[:20]))
+	return b
+}
+
+func TestV1SegmentStillReadable(t *testing.T) {
+	var seg []byte
+	seg = append(seg, encodeHeaderV1(3)...)
+	for i, r := range []Record{VarRec{Index: 0, Handle: 1}, GCRec{}} {
+		seg = AppendFrame(seg, EncodeRecord(uint64(4+i), r))
+	}
+	var seqs []uint64
+	st, err := ScanSegment(bytes.NewReader(seg), func(e Entry) error {
+		seqs = append(seqs, e.Seq)
+		return nil
+	})
+	if err != nil || st.Torn {
+		t.Fatalf("scan v1: %v torn=%v (%v)", err, st.Torn, st.TornErr)
+	}
+	if st.Base != 3 || st.Epoch != 0 || !reflect.DeepEqual(seqs, []uint64{4, 5}) {
+		t.Fatalf("v1 scan: base=%d epoch=%d seqs=%v", st.Base, st.Epoch, seqs)
+	}
+
+	// A v1 file on disk participates in MaxEpoch (as 0) and VerifyChain.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, SegmentName("s-v1", 3)), seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if max, err := MaxEpoch(dir, "s-v1"); err != nil || max != 0 {
+		t.Fatalf("MaxEpoch over v1 = %d, %v", max, err)
+	}
+	cs, err := VerifyChain(dir, "s-v1")
+	if err != nil || cs.Records != 2 || cs.LastSeq != 5 {
+		t.Fatalf("VerifyChain over v1: %+v err=%v", cs, err)
+	}
+}
+
+func TestOpenFencesStaleEpoch(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, "s-ep", 0, Options{Policy: SyncNone, Epoch: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(VarRec{Index: 0, Handle: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if max, err := MaxEpoch(dir, "s-ep"); err != nil || max != 2 {
+		t.Fatalf("MaxEpoch = %d, %v", max, err)
+	}
+
+	// A stale primary (epoch 1) must be refused; the promoted owner's
+	// epoch (2) and anything higher must still open.
+	if _, err := Open(dir, "s-ep", 1, Options{Policy: SyncNone, Epoch: 1}, nil); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-epoch open: %v, want ErrFenced", err)
+	}
+	l2, err := Open(dir, "s-ep", 1, Options{Policy: SyncNone, Epoch: 3}, nil)
+	if err != nil {
+		t.Fatalf("newer-epoch open: %v", err)
+	}
+	l2.Close()
+}
+
+func TestSetEpochStampsSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, "s-se", 0, Options{Policy: SyncNone, Epoch: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Empty active segment: the header is rewritten in place.
+	if err := l.SetEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+	if segs, _ := ListSegments(dir, "s-se"); len(segs) != 1 {
+		t.Fatalf("in-place restamp created segments: %v", segs)
+	}
+	if max, _ := MaxEpoch(dir, "s-se"); max != 2 {
+		t.Fatalf("epoch after in-place restamp = %d, want 2", max)
+	}
+
+	// Non-empty active segment: SetEpoch rotates so the old records keep
+	// their epoch and new ones land under the new epoch.
+	if err := l.Append(VarRec{Index: 0, Handle: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetEpoch(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Epoch(); got != 5 {
+		t.Fatalf("Epoch = %d, want 5", got)
+	}
+	if err := l.Append(VarRec{Index: 1, Handle: 2}); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := ListSegments(dir, "s-se")
+	if len(segs) != 2 {
+		t.Fatalf("segments after rotating restamp: %v", segs)
+	}
+	cs, err := VerifyChain(dir, "s-se")
+	if err != nil || cs.MaxEpoch != 5 || cs.Records != 2 || cs.LastSeq != 2 {
+		t.Fatalf("VerifyChain: %+v err=%v", cs, err)
+	}
+
+	// Lowering the epoch is a fencing violation.
+	if err := l.SetEpoch(4); !errors.Is(err, ErrFenced) {
+		t.Fatalf("lowering epoch: %v, want ErrFenced", err)
+	}
+}
+
+func TestScanFramesRoundtripAndTorn(t *testing.T) {
+	recs := allKinds()
+	var wire []byte
+	for i, r := range recs {
+		wire = AppendFrame(wire, EncodeRecord(uint64(i+1), r))
+	}
+	var got []Record
+	n, err := ScanFrames(wire, func(e Entry) error {
+		got = append(got, e.Rec)
+		return nil
+	})
+	if err != nil || n != len(recs) {
+		t.Fatalf("ScanFrames: n=%d err=%v", n, err)
+	}
+	for i := range recs {
+		if !reflect.DeepEqual(got[i], recs[i]) {
+			t.Fatalf("record %d diverged: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+
+	// Every truncation of the stream delivers a prefix and a typed error
+	// (the torn-final-record-at-the-follower shape): never a panic, never
+	// an over-delivery.
+	for cut := 0; cut < len(wire); cut++ {
+		n := 0
+		delivered, err := ScanFrames(wire[:cut], func(Entry) error { n++; return nil })
+		if cut == 0 {
+			if delivered != 0 || err != nil {
+				t.Fatalf("empty stream: %d, %v", delivered, err)
+			}
+			continue
+		}
+		if err == nil {
+			// A cut can only scan cleanly if it is frame-aligned; then it
+			// must be a strict prefix.
+			if delivered >= len(recs) {
+				t.Fatalf("cut %d: clean scan delivered %d records", cut, delivered)
+			}
+			continue
+		}
+		if delivered != n || delivered >= len(recs) {
+			t.Fatalf("cut %d: delivered=%d n=%d", cut, delivered, n)
+		}
+	}
+
+	// A corrupted byte inside a frame is a typed error, not a panic.
+	mut := append([]byte(nil), wire...)
+	mut[frameOverhead+1] ^= 0xA5
+	if _, err := ScanFrames(mut, func(Entry) error { return nil }); err == nil {
+		t.Fatal("ScanFrames accepted a corrupted frame")
+	}
+}
+
+func TestCollectFrames(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, "s-cf", 0, Options{Policy: SyncNone, Epoch: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := l.Append(VarRec{Index: i, Handle: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			if err := l.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	defer l.Close()
+
+	// The window (2, 5] spans the segment boundary.
+	frames, last, err := CollectFrames(dir, "s-cf", 2, 5, 0)
+	if err != nil || last != 5 {
+		t.Fatalf("CollectFrames: last=%d err=%v", last, err)
+	}
+	var seqs []uint64
+	if _, err := ScanFrames(frames, func(e Entry) error { seqs = append(seqs, e.Seq); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{3, 4, 5}; !reflect.DeepEqual(seqs, want) {
+		t.Fatalf("seqs = %v, want %v", seqs, want)
+	}
+
+	// A byte budget still ships at least one record and reports where it
+	// stopped so the follower's next poll resumes there.
+	frames, last, err = CollectFrames(dir, "s-cf", 0, 6, 1)
+	if err != nil || last != 1 {
+		t.Fatalf("budgeted collect: last=%d err=%v", last, err)
+	}
+	if n, err := ScanFrames(frames, func(Entry) error { return nil }); err != nil || n != 1 {
+		t.Fatalf("budgeted frames: n=%d err=%v", n, err)
+	}
+
+	// Truncating the chain below the requested base is ErrNoChain — the
+	// follower must re-bootstrap from a snapshot.
+	if err := l.TruncateTo(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CollectFrames(dir, "s-cf", 0, 6, 0); !errors.Is(err, ErrNoChain) {
+		t.Fatalf("post-truncation collect: %v, want ErrNoChain", err)
+	}
+}
+
+func TestVerifyChainDetectsGapAndEpochRegression(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, "s-vc", 0, Options{Policy: SyncNone, Epoch: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		l.Append(VarRec{Index: i, Handle: uint64(i + 1)})
+		if i == 1 || i == 3 {
+			l.Rotate()
+		}
+	}
+	l.Close()
+	if cs, err := VerifyChain(dir, "s-vc"); err != nil || cs.Segments != 3 || cs.Records != 6 {
+		t.Fatalf("healthy chain: %+v err=%v", cs, err)
+	}
+
+	// Remove the middle segment: the chain cannot bridge to the last one.
+	// (Removing the oldest would just be a shorter, still-valid chain.)
+	segs, _ := ListSegments(dir, "s-vc")
+	if err := os.Rename(segs[1].Path, segs[1].Path+".stash"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyChain(dir, "s-vc"); !errors.Is(err, ErrNoChain) {
+		t.Fatalf("gap verdict: %v, want ErrNoChain", err)
+	}
+	if err := os.Rename(segs[1].Path+".stash", segs[1].Path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the second segment's header with a lower epoch: regression.
+	data, err := os.ReadFile(segs[1].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, encodeHeader(2, 0))
+	if err := os.WriteFile(segs[1].Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyChain(dir, "s-vc"); err == nil {
+		t.Fatal("VerifyChain accepted an epoch regression")
+	}
+}

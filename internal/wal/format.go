@@ -17,12 +17,14 @@
 //
 // Segment file format:
 //
-//	header (24 bytes, fixed):
+//	header (32 bytes in version 2; version-1 headers are 24 bytes and
+//	still readable):
 //	  magic   [8]byte  "BFBDDWAL"
 //	  version uint16
 //	  flags   uint16   (none defined; must be zero)
 //	  base    uint64   sequence number the segment starts after
-//	  crc     uint32   IEEE CRC-32 of the 20 preceding bytes
+//	  epoch   uint64   replication epoch (v2 only; v1 reads as 0)
+//	  crc     uint32   IEEE CRC-32 of the preceding header bytes
 //
 //	then a series of records, each framed as:
 //	  length  uint32   payload bytes (bounded by MaxRecordLen)
@@ -53,11 +55,16 @@ import (
 // Magic identifies a WAL segment file.
 const Magic = "BFBDDWAL"
 
-// Version is the format version this package writes.
-const Version = 1
+// Version is the format version this package writes. Version 1 (no
+// epoch field) remains readable.
+const Version = 2
 
-// HeaderSize is the byte length of the fixed segment header.
-const HeaderSize = 24
+// HeaderSize is the byte length of the segment header this package
+// writes (version 2). Version-1 headers are headerSizeV1 bytes.
+const HeaderSize = 32
+
+// headerSizeV1 is the byte length of a version-1 segment header.
+const headerSizeV1 = 24
 
 // MaxRecordLen bounds a single record payload; longer claims are
 // rejected as torn/corrupt before any allocation of that size.
@@ -88,6 +95,11 @@ var (
 	// ErrNoChain means the segment chain cannot reach the requested
 	// replay base: segments exist, but the earliest starts after it.
 	ErrNoChain = errors.New("wal: segment chain does not reach base")
+	// ErrFenced means the on-disk history carries a newer replication
+	// epoch than the caller's: a promoted replica owns this session now,
+	// and appending under the stale epoch would fork acknowledged
+	// history.
+	ErrFenced = errors.New("wal: stale epoch (history owned by a newer primary)")
 )
 
 func corrupt(format string, args ...any) error {
@@ -691,33 +703,48 @@ func decodeApply(p *payloadReader) (ApplyRec, error) {
 	return r, nil
 }
 
-// encodeHeader renders a segment header for base.
-func encodeHeader(base uint64) []byte {
+// encodeHeader renders a version-2 segment header for base and epoch.
+func encodeHeader(base, epoch uint64) []byte {
 	b := make([]byte, HeaderSize)
 	copy(b, Magic)
 	binary.LittleEndian.PutUint16(b[8:], Version)
 	binary.LittleEndian.PutUint16(b[10:], 0) // flags
 	binary.LittleEndian.PutUint64(b[12:], base)
-	binary.LittleEndian.PutUint32(b[20:], crc32.ChecksumIEEE(b[:20]))
+	binary.LittleEndian.PutUint64(b[20:], epoch)
+	binary.LittleEndian.PutUint32(b[28:], crc32.ChecksumIEEE(b[:28]))
 	return b
 }
 
-// ParseHeader decodes and validates a segment header.
-func ParseHeader(b []byte) (base uint64, err error) {
-	if len(b) < HeaderSize {
-		return 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(b))
+// ParseHeader decodes and validates a segment header (version 1 or 2)
+// and returns its base, epoch (0 for v1), and byte length n.
+func ParseHeader(b []byte) (base, epoch uint64, n int, err error) {
+	if len(b) < headerSizeV1 {
+		return 0, 0, 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(b))
 	}
 	if string(b[:8]) != Magic {
-		return 0, ErrBadMagic
+		return 0, 0, 0, ErrBadMagic
 	}
-	if got, want := binary.LittleEndian.Uint32(b[20:24]), crc32.ChecksumIEEE(b[:20]); got != want {
-		return 0, fmt.Errorf("%w: header", ErrChecksum)
-	}
-	if v := binary.LittleEndian.Uint16(b[8:]); v != Version {
-		return 0, fmt.Errorf("%w: version %d", ErrVersion, v)
+	base = binary.LittleEndian.Uint64(b[12:])
+	switch v := binary.LittleEndian.Uint16(b[8:]); v {
+	case 1:
+		if got, want := binary.LittleEndian.Uint32(b[20:24]), crc32.ChecksumIEEE(b[:20]); got != want {
+			return 0, 0, 0, fmt.Errorf("%w: header", ErrChecksum)
+		}
+		n = headerSizeV1
+	case Version:
+		if len(b) < HeaderSize {
+			return 0, 0, 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(b))
+		}
+		if got, want := binary.LittleEndian.Uint32(b[28:32]), crc32.ChecksumIEEE(b[:28]); got != want {
+			return 0, 0, 0, fmt.Errorf("%w: header", ErrChecksum)
+		}
+		epoch = binary.LittleEndian.Uint64(b[20:28])
+		n = HeaderSize
+	default:
+		return 0, 0, 0, fmt.Errorf("%w: version %d", ErrVersion, v)
 	}
 	if f := binary.LittleEndian.Uint16(b[10:]); f != 0 {
-		return 0, fmt.Errorf("%w: unknown flags %#x", ErrVersion, f)
+		return 0, 0, 0, fmt.Errorf("%w: unknown flags %#x", ErrVersion, f)
 	}
-	return binary.LittleEndian.Uint64(b[12:]), nil
+	return base, epoch, n, nil
 }

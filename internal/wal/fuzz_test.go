@@ -25,7 +25,7 @@ func FuzzWALReplay(f *testing.F) {
 		CloseRec{},
 	}
 	var seg []byte
-	seg = append(seg, encodeHeader(0)...)
+	seg = append(seg, encodeHeader(0, 0)...)
 	for i, r := range recs {
 		payload := EncodeRecord(uint64(i+1), r)
 		var frame [frameOverhead]byte

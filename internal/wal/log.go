@@ -62,6 +62,11 @@ func (p SyncPolicy) String() string {
 type Options struct {
 	Policy   SyncPolicy
 	Interval time.Duration // SyncInterval cadence; defaults to 100ms
+	// Epoch is the replication epoch stamped into segment headers. Open
+	// refuses (ErrFenced) when the on-disk history already carries a
+	// higher epoch: a promoted replica owns the session and a stale
+	// primary must not fork acknowledged history.
+	Epoch uint64
 }
 
 // Counters is the shared atomic counter block behind the bfbdd_wal_*
@@ -165,8 +170,11 @@ func Open(dir, id string, base uint64, opts Options, ctr *Counters) (*Log, error
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	if max, err := MaxEpoch(dir, id); err == nil && max > opts.Epoch {
+		return nil, fmt.Errorf("%w: on-disk epoch %d, caller epoch %d", ErrFenced, max, opts.Epoch)
+	}
 	l := &Log{dir: dir, id: id, opts: opts, ctr: ctr, base: base, seq: base}
-	f, err := createSegment(dir, id, base)
+	f, err := createSegment(dir, id, base, opts.Epoch)
 	if err != nil {
 		return nil, err
 	}
@@ -182,13 +190,13 @@ func Open(dir, id string, base uint64, opts Options, ctr *Counters) (*Log, error
 
 // createSegment stages a new segment file: header written, file synced,
 // directory synced.
-func createSegment(dir, id string, base uint64) (*os.File, error) {
+func createSegment(dir, id string, base, epoch uint64) (*os.File, error) {
 	path := filepath.Join(dir, SegmentName(id, base))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Write(encodeHeader(base)); err != nil {
+	if _, err := f.Write(encodeHeader(base, epoch)); err != nil {
 		f.Close()
 		os.Remove(path)
 		return nil, err
@@ -361,7 +369,7 @@ func (l *Log) Rotate() error {
 	if err := l.syncLocked(); err != nil {
 		return err
 	}
-	f, err := createSegment(l.dir, l.id, l.seq)
+	f, err := createSegment(l.dir, l.id, l.seq, l.opts.Epoch)
 	if err != nil {
 		return err
 	}
@@ -371,6 +379,50 @@ func (l *Log) Rotate() error {
 	l.off = HeaderSize
 	l.dirty = false
 	l.ctr.Rotations.Add(1)
+	return old.Close()
+}
+
+// Epoch returns the replication epoch stamped into new segments.
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.opts.Epoch
+}
+
+// SetEpoch raises the epoch stamped into segment headers (promotion).
+// The active segment is replaced so the new epoch is on disk before
+// SetEpoch returns: rewritten in place if it holds no records,
+// otherwise rotated away. Lowering the epoch is refused.
+func (l *Log) SetEpoch(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return ErrClosed
+	case l.broken:
+		return ErrBroken
+	case epoch == l.opts.Epoch:
+		return nil
+	case epoch < l.opts.Epoch:
+		return fmt.Errorf("%w: cannot lower epoch %d to %d", ErrFenced, l.opts.Epoch, epoch)
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	rotated := l.base != l.seq
+	f, err := createSegment(l.dir, l.id, l.seq, epoch)
+	if err != nil {
+		return err
+	}
+	l.opts.Epoch = epoch
+	old := l.f
+	l.f = f
+	l.base = l.seq
+	l.off = HeaderSize
+	l.dirty = false
+	if rotated {
+		l.ctr.Rotations.Add(1)
+	}
 	return old.Close()
 }
 

@@ -12,6 +12,7 @@ import (
 // SegmentStats summarizes one segment scan.
 type SegmentStats struct {
 	Base    uint64 // from the header
+	Epoch   uint64 // replication epoch from the header (0 for v1)
 	Records int    // well-formed records delivered
 	LastSeq uint64 // sequence of the last delivered record (Base if none)
 	// Torn reports that the scan stopped before EOF: a frame was
@@ -31,15 +32,24 @@ type SegmentStats struct {
 func ScanSegment(r io.Reader, fn func(Entry) error) (SegmentStats, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var st SegmentStats
-	hdr := make([]byte, HeaderSize)
+	// Headers are version-sized: read the v1 prefix first, then the v2
+	// epoch extension if the version field says so.
+	hdr := make([]byte, headerSizeV1, HeaderSize)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return st, fmt.Errorf("%w: %d-byte segment", ErrTruncated, headerBytesRead(err, hdr))
 	}
-	base, err := ParseHeader(hdr)
+	if string(hdr[:8]) == Magic && binary.LittleEndian.Uint16(hdr[8:]) == Version {
+		hdr = hdr[:HeaderSize]
+		if _, err := io.ReadFull(br, hdr[headerSizeV1:]); err != nil {
+			return st, fmt.Errorf("%w: segment shorter than its v2 header", ErrTruncated)
+		}
+	}
+	base, epoch, _, err := ParseHeader(hdr)
 	if err != nil {
 		return st, err
 	}
 	st.Base = base
+	st.Epoch = epoch
 	st.LastSeq = base
 	buf := make([]byte, 0, 4096)
 	for {

@@ -1,0 +1,203 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file is the replication-facing surface of the WAL: headerless
+// wire frames (the segment record framing without a segment header),
+// batch collection from the live segment chain on the primary, frame
+// decoding on the follower, and the end-to-end chain verifier shared by
+// recovery tooling.
+
+// AppendFrame appends one wire frame (length, CRC, payload) for a
+// record payload produced by EncodeRecord.
+func AppendFrame(b, payload []byte) []byte {
+	var frame [frameOverhead]byte
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	b = append(b, frame[:]...)
+	return append(b, payload...)
+}
+
+// ScanFrames decodes a headerless stream of record frames, calling fn
+// for each well-formed record in order, and returns how many were
+// delivered. A torn or corrupt frame ends the scan with a typed error
+// after the preceding records were delivered: a follower receiving a
+// connection-severed batch applies the intact prefix and re-polls from
+// there. fn errors abort the scan and are returned as-is.
+func ScanFrames(data []byte, fn func(Entry) error) (int, error) {
+	n := 0
+	for off := 0; off < len(data); {
+		if len(data)-off < frameOverhead {
+			return n, fmt.Errorf("%w: partial frame prefix", ErrTruncated)
+		}
+		length := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length == 0 || length > MaxRecordLen {
+			return n, corrupt("frame length %d", length)
+		}
+		off += frameOverhead
+		if uint64(len(data)-off) < uint64(length) {
+			return n, fmt.Errorf("%w: partial frame payload", ErrTruncated)
+		}
+		payload := data[off : off+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return n, fmt.Errorf("%w: record frame", ErrChecksum)
+		}
+		ent, err := DecodeRecord(payload)
+		if err != nil {
+			return n, err
+		}
+		if err := fn(ent); err != nil {
+			return n, err
+		}
+		n++
+		off += int(length)
+	}
+	return n, nil
+}
+
+// errStopCollect ends a CollectFrames replay early (limit reached).
+var errStopCollect = errors.New("wal: stop collect")
+
+// CollectFrames re-encodes id's records with from < seq <= upTo as a
+// wire-frame batch, reading them back from the segment chain in dir.
+// Collection stops early once maxBytes of frames are gathered
+// (maxBytes <= 0 means unlimited) but always includes at least one
+// record when any is available; it returns the frames and the sequence
+// of the last included record. ErrNoChain reports that the chain no
+// longer reaches from — the records were truncated away and the caller
+// must re-bootstrap from a snapshot instead.
+func CollectFrames(dir, id string, from, upTo uint64, maxBytes int) ([]byte, uint64, error) {
+	var out []byte
+	last := from
+	st, err := ReplayTail(dir, id, from, func(e Entry) error {
+		if e.Seq > upTo {
+			return errStopCollect
+		}
+		if maxBytes > 0 && len(out) >= maxBytes {
+			return errStopCollect
+		}
+		out = AppendFrame(out, EncodeRecord(e.Seq, e.Rec))
+		last = e.Seq
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, errStopCollect) {
+			return out, last, nil
+		}
+		return nil, from, err
+	}
+	if st.Gap && last < upTo {
+		return nil, from, fmt.Errorf("%w: oldest reachable segment starts at %d", ErrNoChain, st.GapBase)
+	}
+	return out, last, nil
+}
+
+// MaxEpoch returns the highest replication epoch stamped in id's
+// on-disk segment headers (0 when there are none, or all are v1).
+// Unreadable or corrupt headers are skipped: the fence is a refusal to
+// overwrite newer history, not a corruption detector — that is
+// VerifyChain's job.
+func MaxEpoch(dir, id string) (uint64, error) {
+	segs, err := ListSegments(dir, id)
+	if err != nil {
+		return 0, err
+	}
+	var max uint64
+	for _, sg := range segs {
+		epoch, err := readSegmentEpoch(sg.Path)
+		if err != nil {
+			continue
+		}
+		if epoch > max {
+			max = epoch
+		}
+	}
+	return max, nil
+}
+
+func readSegmentEpoch(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	hdr := make([]byte, HeaderSize)
+	n, err := io.ReadFull(f, hdr)
+	if err != nil && n < headerSizeV1 {
+		return 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, n)
+	}
+	_, epoch, _, err := ParseHeader(hdr[:n])
+	return epoch, err
+}
+
+// ChainStats summarizes an end-to-end VerifyChain pass.
+type ChainStats struct {
+	Segments  int    // segment files in the chain
+	Records   uint64 // well-formed records delivered across the chain
+	FirstBase uint64 // oldest segment's base
+	LastSeq   uint64 // chain head (highest contiguous sequence)
+	TornTail  bool   // the newest segment ended in a (tolerated) torn tail
+	MaxEpoch  uint64 // highest epoch seen in any header
+}
+
+// VerifyChain scans id's full segment chain end-to-end and enforces the
+// cross-segment durability invariants, not just per-segment framing:
+// every header parses, sequences are dense from the oldest base across
+// segment boundaries (overlap from a crash between rotation and
+// truncation is fine, a gap is not), a torn tail is tolerated only on
+// the newest segment, and the replication epoch never decreases along
+// the chain. A session with no segments verifies vacuously.
+func VerifyChain(dir, id string) (ChainStats, error) {
+	var cs ChainStats
+	segs, err := ListSegments(dir, id)
+	if err != nil {
+		return cs, err
+	}
+	last := uint64(0)
+	epoch := uint64(0)
+	for i, sg := range segs {
+		name := filepath.Base(sg.Path)
+		st, err := ScanSegmentFile(sg.Path, func(Entry) error { return nil })
+		if err != nil {
+			return cs, fmt.Errorf("%s: %w", name, err)
+		}
+		if st.Base != sg.Base {
+			return cs, fmt.Errorf("%s: %w: header base %d != name base %d", name, ErrCorrupt, st.Base, sg.Base)
+		}
+		if i == 0 {
+			cs.FirstBase = sg.Base
+			last = sg.Base
+		} else {
+			if sg.Base > last {
+				return cs, fmt.Errorf("%s: %w: segment base %d unreachable, chain ends at seq %d", name, ErrNoChain, sg.Base, last)
+			}
+			if st.Epoch < epoch {
+				return cs, fmt.Errorf("%s: %w: epoch regressed %d -> %d along the chain", name, ErrCorrupt, epoch, st.Epoch)
+			}
+		}
+		if st.Torn && i != len(segs)-1 {
+			return cs, fmt.Errorf("%s: torn mid-chain: %w", name, st.TornErr)
+		}
+		cs.Segments++
+		cs.Records += uint64(st.Records)
+		if st.LastSeq > last {
+			last = st.LastSeq
+		}
+		epoch = st.Epoch
+		if st.Epoch > cs.MaxEpoch {
+			cs.MaxEpoch = st.Epoch
+		}
+		cs.TornTail = st.Torn
+	}
+	cs.LastSeq = last
+	return cs, nil
+}
