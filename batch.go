@@ -77,7 +77,10 @@ func (m *Manager) ApplyBatch(ops []BatchOp) []*BDD {
 // completed before the abort: a valid handle for each finished op, nil
 // for the rest. The completed handles are fully usable.
 func (m *Manager) ApplyBatchCtx(ctx context.Context, ops []BatchOp) ([]*BDD, error) {
-	refs, err := m.k.ApplyBatchCtx(ctx, m.binOps(ops))
+	bin := m.binOps(ops)
+	finish := m.traceBuild(ctx)
+	refs, err := m.k.ApplyBatchCtx(ctx, bin)
+	finish()
 	if err != nil {
 		if len(refs) == 0 {
 			return nil, err
@@ -107,7 +110,9 @@ func (m *Manager) ApplyCtx(ctx context.Context, kind BatchOpKind, f, g *BDD) (*B
 	if f.m != m {
 		panic("bfbdd: ApplyCtx operand from another manager")
 	}
+	finish := m.traceBuild(ctx)
 	r, err := m.k.ApplyCtx(ctx, kind.op(), f.ref(), g.ref())
+	finish()
 	if err != nil {
 		return nil, err
 	}

@@ -79,6 +79,9 @@ func main() {
 		readyMaxLag     = flag.Duration("ready-max-lag", 2*time.Second, "replication lag beyond which a follower's /readyz reports unready")
 		replRetention   = flag.Uint64("repl-retention", 65536, "records behind the newest checkpoint that WAL truncation holds for lagging followers")
 		replSyncTimeout = flag.Duration("repl-sync-timeout", 2*time.Second, "under -wal-sync=always, how long an ack waits for follower delivery before dropping laggards")
+		traceSample     = flag.Float64("trace-sample", 0, "fraction of requests to trace end-to-end in [0,1]; 0 disables sampling (?trace=1 still traces a request)")
+		traceRing       = flag.Int("trace-ring", 128, "completed traces retained for GET /v1/debug/traces")
+		slowBuild       = flag.Duration("slow-build-threshold", 0, "log a per-phase breakdown of any engine build slower than this (0 disables)")
 	)
 	// -shutdown-timeout is the historical name of -drain-timeout; both set
 	// the same value, last one parsed wins.
@@ -113,6 +116,9 @@ func main() {
 		ReadyMaxLag:         *readyMaxLag,
 		ReplRetention:       *replRetention,
 		ReplSyncTimeout:     *replSyncTimeout,
+		TraceSample:         *traceSample,
+		TraceRingSize:       *traceRing,
+		SlowBuildThreshold:  *slowBuild,
 	})
 
 	httpSrv := &http.Server{

@@ -1,0 +1,152 @@
+// Command bfbdd-trace validates and pretty-prints build traces exported
+// by the server's GET /v1/debug/traces/{id} endpoint.
+//
+// Input is one or more exported trace JSON objects — a single object or
+// a concatenated stream — read from the named files, or from stdin when
+// no files are given:
+//
+//	curl -s localhost:8707/v1/debug/traces/t-0000000000000001 | bfbdd-trace
+//
+// Every trace is checked against the export schema invariants (dense
+// 1-based span ids, a single root, parents preceding children,
+// non-negative durations); a malformed trace fails the run with a
+// non-zero exit, which is what the CI smoke job relies on. Valid traces
+// are rendered as an indented span tree with durations and attributes:
+//
+//	t-0000000000000001 POST /v1/sessions/{sid}/apply 12.4ms
+//	└─ POST /v1/sessions/{sid}/apply 12.4ms status=200
+//	   ├─ queue-wait 2.1ms
+//	   └─ batch 10.2ms batch_id=7 ops=4
+//	      ├─ kernel-build 9.8ms shannon_steps=51193 ...
+//	      │  ├─ expand 1.2ms level=0 ops=4 worker=0
+//	      ...
+//
+// With -q only validation runs (no tree output).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"bfbdd/internal/trace"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "validate only; print nothing for valid traces")
+	flag.Parse()
+
+	var failed bool
+	process := func(name string, r io.Reader) {
+		n, err := run(name, r, *quiet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfbdd-trace: %s: %v\n", name, err)
+			failed = true
+		} else if *quiet {
+			fmt.Printf("%s: %d trace(s) valid\n", name, n)
+		}
+	}
+
+	if flag.NArg() == 0 {
+		process("stdin", os.Stdin)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfbdd-trace: %v\n", err)
+			failed = true
+			continue
+		}
+		process(path, f)
+		f.Close()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// run decodes, validates, and (unless quiet) prints every trace in r,
+// returning how many it saw. An empty input is an error: a smoke test
+// piping in an export must not pass vacuously.
+func run(name string, r io.Reader, quiet bool) (int, error) {
+	dec := json.NewDecoder(r)
+	n := 0
+	for {
+		var ex trace.Exported
+		if err := dec.Decode(&ex); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return n, fmt.Errorf("decode: %w", err)
+		}
+		if err := ex.Validate(); err != nil {
+			return n, fmt.Errorf("trace %q invalid: %w", ex.TraceID, err)
+		}
+		n++
+		if !quiet {
+			printTrace(os.Stdout, &ex)
+		}
+	}
+	if n == 0 {
+		return 0, errors.New("no traces in input")
+	}
+	return n, nil
+}
+
+// printTrace renders one validated trace as an indented span tree.
+func printTrace(w io.Writer, ex *trace.Exported) {
+	fmt.Fprintf(w, "%s %s %s spans=%d", ex.TraceID, ex.Root,
+		fdur(ex.DurationNs), len(ex.Spans))
+	if ex.Forced {
+		fmt.Fprint(w, " forced")
+	}
+	if ex.DroppedSpans > 0 {
+		fmt.Fprintf(w, " dropped=%d", ex.DroppedSpans)
+	}
+	fmt.Fprintln(w)
+
+	// children[p] lists the spans whose parent is span id p, in record
+	// order (Validate guarantees parents precede children).
+	children := make(map[int][]int, len(ex.Spans))
+	for i, sp := range ex.Spans {
+		children[sp.Parent] = append(children[sp.Parent], i)
+	}
+	var render func(idx int, prefix string, last bool)
+	render = func(idx int, prefix string, last bool) {
+		sp := &ex.Spans[idx]
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		fmt.Fprintf(w, "%s%s%s %s%s\n", prefix, branch, sp.Name,
+			fdur(sp.DurationNs), fattrs(sp.Attrs))
+		kids := children[sp.Span]
+		for i, k := range kids {
+			render(k, prefix+cont, i == len(kids)-1)
+		}
+	}
+	roots := children[0]
+	for i, k := range roots {
+		render(k, "", i == len(roots)-1)
+	}
+}
+
+func fdur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func fattrs(attrs []trace.ExportedAttr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, a := range attrs {
+		fmt.Fprintf(&b, " %s=%d", a.Key, a.Value)
+	}
+	return b.String()
+}

@@ -8,6 +8,7 @@ import (
 	"bfbdd/internal/faultinject"
 	"bfbdd/internal/node"
 	"bfbdd/internal/stats"
+	"bfbdd/internal/trace"
 )
 
 // barrier is a reusable P-party synchronization barrier for the GC's
@@ -67,6 +68,17 @@ func markBit(st *node.Store, r node.Ref) {
 // every live external BDD protected in the root registry.
 func (k *Kernel) GC() {
 	t0 := time.Now()
+	// Phase-time snapshot for the gc span of a traced build: the delta
+	// across the collection attributes the three sub-phase times (summed
+	// over workers) to this specific collection.
+	var gcBefore [stats.NumPhases]int64
+	if k.btr != nil {
+		for _, w := range k.workers {
+			for p := stats.PhaseGCMark; p <= stats.PhaseGCRehash; p++ {
+				gcBefore[p] += w.st.PhaseNs[p]
+			}
+		}
+	}
 	if k.opts.GC == GCFreeList {
 		k.gcFreeList()
 	} else {
@@ -83,6 +95,19 @@ func (k *Kernel) GC() {
 	k.mem.GCPauseNs += int64(time.Since(t0))
 	k.mem.LastLiveNds = k.gcLiveAfter
 	k.sampleMemory()
+	if k.btr != nil {
+		var gcAfter [stats.NumPhases]int64
+		for _, w := range k.workers {
+			for p := stats.PhaseGCMark; p <= stats.PhaseGCRehash; p++ {
+				gcAfter[p] += w.st.PhaseNs[p]
+			}
+		}
+		k.btr.Add(k.btrParent, "gc", t0, time.Now(),
+			trace.I("mark_ns", gcAfter[stats.PhaseGCMark]-gcBefore[stats.PhaseGCMark]),
+			trace.I("fix_ns", gcAfter[stats.PhaseGCFix]-gcBefore[stats.PhaseGCFix]),
+			trace.I("rehash_ns", gcAfter[stats.PhaseGCRehash]-gcBefore[stats.PhaseGCRehash]),
+			trace.I("live_after", int64(k.gcLiveAfter)))
+	}
 }
 
 // prepareMarksAndRoots sizes the mark bitmaps and marks the externally

@@ -8,6 +8,7 @@ import (
 	"bfbdd/internal/faultinject"
 	"bfbdd/internal/node"
 	"bfbdd/internal/stats"
+	"bfbdd/internal/trace"
 	"bfbdd/internal/unique"
 )
 
@@ -178,6 +179,12 @@ type Kernel struct {
 
 	// closed is set by Close; subsequent kernel use panics deterministically.
 	closed atomic.Bool
+
+	// btr/btrParent are the armed build trace (see trace.go): per-level
+	// phase spans of the operation in flight are recorded under btrParent.
+	// Written only while quiescent; workers read them unsynchronized.
+	btr       *trace.Trace
+	btrParent trace.SpanID
 
 	// effThreshold is the evaluation threshold currently in effect: the
 	// configured EvalThreshold normally, lowered under memory pressure

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"bfbdd/internal/trace"
+)
+
+// Build tracing.
+//
+// A traced top-level operation arms the kernel with a trace and a parent
+// span before the build starts; the workers then record per-level
+// expansion and reduction spans (the live, request-attributed counterpart
+// of the stats.Worker phase timers) and the collector records a gc span.
+// The armed trace is published before any worker goroutine of the build
+// is spawned and cleared after every worker has quiesced, so the plain
+// fields need no synchronization — the go statement provides the
+// happens-before edge, exactly like the kernel's other per-build state
+// (pending queues, opDone).
+//
+// When no trace is armed (the overwhelmingly common case) every hook is
+// one nil pointer compare on a per-level — never per-operation — path.
+
+// ArmTrace attaches a trace to the next top-level operation: per-level
+// phase spans are recorded as children of parent. Must be called with the
+// kernel quiescent (no build in flight), like every other top-level
+// entry point.
+func (k *Kernel) ArmTrace(t *trace.Trace, parent trace.SpanID) {
+	k.btr, k.btrParent = t, parent
+}
+
+// DisarmTrace detaches the armed trace after the build completes.
+func (k *Kernel) DisarmTrace() {
+	k.btr, k.btrParent = nil, 0
+}

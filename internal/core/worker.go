@@ -10,6 +10,7 @@ import (
 	"bfbdd/internal/faultinject"
 	"bfbdd/internal/node"
 	"bfbdd/internal/stats"
+	"bfbdd/internal/trace"
 )
 
 // evalContext is a pushed evaluation context: the paper's unit of both
@@ -185,8 +186,13 @@ func (w *worker) expand(allowPush bool) (pushed *ownerCtx, overflow bool) {
 	// expansion adopts the lower value promptly without an atomic load on
 	// every Shannon step.
 	threshold := int(k.effThreshold.Load())
+	btr := k.btr // nil unless this build is traced
 	for lvl := 0; lvl < k.opts.Levels; lvl++ {
 		q := w.pending[lvl]
+		var lvlStart time.Time
+		if btr != nil && len(q) > 0 {
+			lvlStart = time.Now()
+		}
 		for i := 0; i < len(q); i++ {
 			h := q[i]
 			o := w.opAt(h)
@@ -204,12 +210,20 @@ func (w *worker) expand(allowPush bool) (pushed *ownerCtx, overflow bool) {
 			}
 			if w.nOps >= threshold || (w.shareRequested() && w.pendingTotal > k.opts.GroupSize) {
 				w.nOps = 0
+				if btr != nil {
+					btr.Add(k.btrParent, "expand", lvlStart, time.Now(),
+						trace.I("level", int64(lvl)), trace.I("ops", int64(i+1)), trace.I("worker", int64(w.id)))
+				}
 				if !allowPush {
 					w.pending[lvl] = q[i+1:]
 					return nil, true
 				}
 				return w.pushContext(lvl, q[i+1:]), false
 			}
+		}
+		if btr != nil && len(q) > 0 {
+			btr.Add(k.btrParent, "expand", lvlStart, time.Now(),
+				trace.I("level", int64(lvl)), trace.I("ops", int64(len(q))), trace.I("worker", int64(w.id)))
 		}
 		w.pending[lvl] = q[:0]
 	}
@@ -382,10 +396,16 @@ func (w *worker) evalCycle() {
 func (w *worker) reduceAll(rq [][]opRef) {
 	t0 := time.Now()
 	k := w.k
+	btr := k.btr // nil unless this build is traced
 	for lvl := k.opts.Levels - 1; lvl >= 0; lvl-- {
 		q := rq[lvl]
 		if len(q) == 0 {
 			continue
+		}
+		var lvlStart time.Time
+		lvlOps := len(q)
+		if btr != nil {
+			lvlStart = time.Now()
 		}
 		emptyRounds := 0
 		for {
@@ -426,6 +446,10 @@ func (w *worker) reduceAll(rq [][]opRef) {
 			}
 		}
 		rq[lvl] = rq[lvl][:0]
+		if btr != nil {
+			btr.Add(k.btrParent, "reduce", lvlStart, time.Now(),
+				trace.I("level", int64(lvl)), trace.I("ops", int64(lvlOps)), trace.I("worker", int64(w.id)))
+		}
 		// Reduction is where nodes are actually allocated, and a build
 		// whose expansion phase has finished never reaches the expansion
 		// poll again — without a poll here the final reduction could

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bfbdd"
+	"bfbdd/internal/trace"
 	"bfbdd/internal/wal"
 )
 
@@ -23,6 +24,13 @@ type applyCall struct {
 	kind bfbdd.BatchOpKind
 	f, g uint64 // wire handles, resolved on the executor goroutine
 	resp chan applyResult
+
+	// tr/parent carry the submitting request's trace (nil when the
+	// request is unsampled); enq is when the call joined the forming
+	// batch, the start of its queue-wait span.
+	tr     *trace.Trace
+	parent trace.SpanID
+	enq    time.Time
 }
 
 // coalescer gathers independent binary applies that arrive within a short
@@ -63,6 +71,9 @@ func newCoalescer(s *session, cfg Config, m *metrics) *coalescer {
 // its batch-mates' work.
 func (c *coalescer) submit(ctx context.Context, kind bfbdd.BatchOpKind, f, g uint64) (applyResult, error) {
 	call := &applyCall{kind: kind, f: f, g: g, resp: make(chan applyResult, 1)}
+	if tr, parent := trace.FromContext(ctx); tr != nil {
+		call.tr, call.parent, call.enq = tr, parent, time.Now()
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -121,7 +132,43 @@ func (c *coalescer) flush() {
 
 // runBatch executes one coalesced batch on the executor goroutine:
 // resolve handles, ApplyBatchCtx, register results.
+//
+// Trace shape: every traced call gets a "queue-wait" span covering the
+// interval from submit to the batch reaching the executor. The first
+// traced call owns the batch — its trace carries the "batch" span
+// under which the kernel build and the WAL commit record their child
+// spans — and every other traced call gets a "batch-join" marker
+// instead; all of them share a batch_id attribute, so an exported
+// member trace can be correlated with the owner's full breakdown.
 func (c *coalescer) runBatch(ctx context.Context, calls []*applyCall) {
+	var (
+		owner     *applyCall
+		batchSpan trace.SpanID
+		batchID   int64
+	)
+	started := time.Now()
+	for _, call := range calls {
+		if call.tr == nil {
+			continue
+		}
+		call.tr.Add(call.parent, "queue-wait", call.enq, started)
+		if owner == nil {
+			owner = call
+			batchID = int64(trace.NextBatchID())
+			batchSpan = call.tr.Start(call.parent, "batch")
+		} else {
+			call.tr.Add(call.parent, "batch-join", started, started,
+				trace.I("batch_id", batchID))
+		}
+	}
+	if owner != nil {
+		ctx = trace.NewContext(ctx, owner.tr, batchSpan)
+		defer func() {
+			owner.tr.End(batchSpan,
+				trace.I("batch_id", batchID), trace.I("ops", int64(len(calls))))
+		}()
+	}
+
 	ops := make([]bfbdd.BatchOp, 0, len(calls))
 	live := make([]*applyCall, 0, len(calls))
 	for _, call := range calls {
@@ -141,7 +188,12 @@ func (c *coalescer) runBatch(ctx context.Context, calls []*applyCall) {
 	if len(live) == 0 {
 		return
 	}
+	var before bfbdd.Stats
+	if c.sess.slowThreshold > 0 {
+		before = c.sess.mgr.Stats()
+	}
 	results, err := c.sess.mgr.ApplyBatchCtx(ctx, ops)
+	c.sess.noteSlowBuild("apply", time.Since(started), before)
 	if err != nil {
 		c.sess.noteFailure(err)
 		err = fmt.Errorf("batch build aborted: %w", err)
@@ -162,7 +214,7 @@ func (c *coalescer) runBatch(ctx context.Context, calls []*applyCall) {
 			kept = append(kept, b)
 			keptIdx = append(keptIdx, i)
 		}
-		if jerr := journalApplies(c.sess, recs); jerr != nil {
+		if jerr := journalAppliesT(c.sess, ownerTrace(owner), batchSpan, recs); jerr != nil {
 			for i := len(kept) - 1; i >= 0; i-- {
 				c.sess.unput(recs[i].Handle, kept[i])
 			}
@@ -190,7 +242,7 @@ func (c *coalescer) runBatch(ctx context.Context, calls []*applyCall) {
 		handles[i] = c.sess.put(results[i])
 		recs[i] = wal.ApplyRec{Op: uint8(call.kind), F: call.f, G: call.g, Handle: handles[i]}
 	}
-	if jerr := journalApplies(c.sess, recs); jerr != nil {
+	if jerr := journalAppliesT(c.sess, ownerTrace(owner), batchSpan, recs); jerr != nil {
 		for i := len(live) - 1; i >= 0; i-- {
 			c.sess.unput(handles[i], results[i])
 		}
@@ -204,6 +256,15 @@ func (c *coalescer) runBatch(ctx context.Context, calls []*applyCall) {
 	for i, call := range live {
 		call.resp <- applyResult{handle: handles[i], nodes: results[i].Size()}
 	}
+}
+
+// ownerTrace returns the owning call's trace, nil when the batch has no
+// traced member.
+func ownerTrace(owner *applyCall) *trace.Trace {
+	if owner == nil {
+		return nil
+	}
+	return owner.tr
 }
 
 // close rejects future submits and fails any batch still forming. Queued

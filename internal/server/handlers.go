@@ -19,6 +19,7 @@ import (
 	"bfbdd/internal/faultinject"
 	"bfbdd/internal/node"
 	"bfbdd/internal/replication"
+	"bfbdd/internal/trace"
 	"bfbdd/internal/wal"
 )
 
@@ -139,8 +140,10 @@ func parseOp(name string) (bfbdd.BatchOpKind, error) {
 // routes registers the API surface; every route runs behind the admission
 // pipeline and per-route instrumentation.
 func (s *Server) routes(mux *http.ServeMux) {
+	// Trace middleware sits inside admission: a request shed by the
+	// in-flight cap never consumes a sampling slot or a ring entry.
 	handle := func(pattern string, h http.HandlerFunc) {
-		mux.Handle(pattern, s.metrics.instrument(pattern, s.limits.admit(h)))
+		mux.Handle(pattern, s.metrics.instrument(pattern, s.limits.admit(s.traced(pattern, h))))
 	}
 	handle("POST /v1/sessions", s.handleCreateSession)
 	handle("POST /v1/sessions/restore", s.handleRestoreSession)
@@ -169,6 +172,8 @@ func (s *Server) routes(mux *http.ServeMux) {
 	handle("DELETE /v1/funcs/{fid}", s.handleDeleteFunc)
 	handle("POST /v1/funcs/{fid}/eval", s.handleEvalFunc)
 	handle("POST /v1/funcs/{fid}/query", s.handleQueryFunc)
+	handle("GET /v1/debug/traces", s.handleListTraces)
+	handle("GET /v1/debug/traces/{tid}", s.handleGetTrace)
 	handle("GET "+replication.StatusPath, s.handleReplStatus)
 	handle("GET "+replication.SnapshotPathPrefix+"{sid}", s.handleReplSnapshot)
 	handle("GET "+replication.WALPathPrefix+"{sid}", s.handleReplWAL)
@@ -194,9 +199,21 @@ func (s *Server) sessionOf(r *http.Request) (*session, error) {
 
 // run executes fn serialized on the session's executor under the request
 // context and deadline, routing any failure through the session's
-// poison classifier.
+// poison classifier. A traced request gets a "queue-wait" span covering
+// the time its task sat in the executor queue; a task abandoned before
+// running leaves the span open, and trace collection closes it with an
+// unfinished marker — exactly what happened.
 func run(r *http.Request, sess *session, fn func(ctx context.Context) error) error {
-	err := sess.exec.submit(r.Context(), fn)
+	ctx := r.Context()
+	if t, parent := trace.FromContext(ctx); t != nil {
+		qs := t.Start(parent, "queue-wait")
+		inner := fn
+		fn = func(ctx context.Context) error {
+			t.End(qs)
+			return inner(ctx)
+		}
+	}
+	err := sess.exec.submit(ctx, fn)
 	sess.noteFailure(err)
 	return err
 }
@@ -204,13 +221,19 @@ func run(r *http.Request, sess *session, fn func(ctx context.Context) error) err
 // journalApplies journals a group of binary applies as one commit group:
 // a bare apply record for a single operation, one batch record otherwise.
 func journalApplies(sess *session, recs []wal.ApplyRec) error {
+	return journalAppliesT(sess, nil, 0, recs)
+}
+
+// journalAppliesT is journalApplies under an explicit trace (the
+// coalescer threads the batch owner's trace; nil when untraced).
+func journalAppliesT(sess *session, t *trace.Trace, parent trace.SpanID, recs []wal.ApplyRec) error {
 	switch len(recs) {
 	case 0:
 		return nil
 	case 1:
-		return sess.journal(recs[0])
+		return sess.journalT(t, parent, recs[0])
 	default:
-		return sess.journal(wal.BatchRec{Ops: recs})
+		return sess.journalT(t, parent, wal.BatchRec{Ops: recs})
 	}
 }
 
@@ -355,7 +378,7 @@ func (s *Server) handleVar(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp handleResp
-	err = run(r, sess, func(context.Context) error {
+	err = run(r, sess, func(ctx context.Context) error {
 		var b *bfbdd.BDD
 		if req.Negated {
 			b = sess.mgr.NVar(req.Index)
@@ -363,7 +386,7 @@ func (s *Server) handleVar(w http.ResponseWriter, r *http.Request) {
 			b = sess.mgr.Var(req.Index)
 		}
 		h := sess.put(b)
-		if err := sess.journal(wal.VarRec{Index: req.Index, Negated: req.Negated, Handle: h}); err != nil {
+		if err := sess.journalCtx(ctx, wal.VarRec{Index: req.Index, Negated: req.Negated, Handle: h}); err != nil {
 			sess.unput(h, b)
 			return err
 		}
@@ -394,7 +417,7 @@ func (s *Server) handleConst(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp handleResp
-	err = run(r, sess, func(context.Context) error {
+	err = run(r, sess, func(ctx context.Context) error {
 		var b *bfbdd.BDD
 		if req.Value {
 			b = sess.mgr.One()
@@ -402,7 +425,7 @@ func (s *Server) handleConst(w http.ResponseWriter, r *http.Request) {
 			b = sess.mgr.Zero()
 		}
 		h := sess.put(b)
-		if err := sess.journal(wal.ConstRec{Value: req.Value, Handle: h}); err != nil {
+		if err := sess.journalCtx(ctx, wal.ConstRec{Value: req.Value, Handle: h}); err != nil {
 			sess.unput(h, b)
 			return err
 		}
@@ -498,6 +521,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var completed []completedOp
 	err = run(r, sess, func(ctx context.Context) error {
+		btr, bparent := trace.FromContext(ctx)
 		ops := make([]bfbdd.BatchOp, len(req.Ops))
 		for i, op := range req.Ops {
 			f, err := sess.bdd(op.F)
@@ -510,7 +534,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			ops[i] = bfbdd.BatchOp{Kind: kinds[i], F: f, G: g}
 		}
+		var before bfbdd.Stats
+		if sess.slowThreshold > 0 {
+			before = sess.mgr.Stats()
+		}
+		t0 := time.Now()
 		results, err := sess.mgr.ApplyBatchCtx(ctx, ops)
+		sess.noteSlowBuild("batch", time.Since(t0), before)
 		if err != nil {
 			// The operations that did finish are acknowledged as real
 			// handles, so they must be journaled like any success — as one
@@ -528,7 +558,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				recs = append(recs, wal.ApplyRec{Op: uint8(kinds[i]), F: req.Ops[i].F, G: req.Ops[i].G, Handle: h})
 				kept = append(kept, b)
 			}
-			if jerr := journalApplies(sess, recs); jerr != nil {
+			if jerr := journalAppliesT(sess, btr, bparent, recs); jerr != nil {
 				for i := len(kept) - 1; i >= 0; i-- {
 					sess.unput(recs[i].Handle, kept[i])
 				}
@@ -545,7 +575,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Nodes[i] = b.Size()
 			recs[i] = wal.ApplyRec{Op: uint8(kinds[i]), F: req.Ops[i].F, G: req.Ops[i].G, Handle: resp.Handles[i]}
 		}
-		if jerr := journalApplies(sess, recs); jerr != nil {
+		if jerr := journalAppliesT(sess, btr, bparent, recs); jerr != nil {
 			for i := len(results) - 1; i >= 0; i-- {
 				sess.unput(resp.Handles[i], results[i])
 			}
@@ -591,7 +621,7 @@ func (s *Server) handleITE(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp handleResp
-	err = run(r, sess, func(context.Context) error {
+	err = run(r, sess, func(ctx context.Context) error {
 		f, err := sess.bdd(req.F)
 		if err != nil {
 			return err
@@ -606,7 +636,7 @@ func (s *Server) handleITE(w http.ResponseWriter, r *http.Request) {
 		}
 		b := f.ITE(g, h)
 		hn := sess.put(b)
-		if err := sess.journal(wal.ITERec{F: req.F, G: req.G, H: req.H, Handle: hn}); err != nil {
+		if err := sess.journalCtx(ctx, wal.ITERec{F: req.F, G: req.G, H: req.H, Handle: hn}); err != nil {
 			sess.unput(hn, b)
 			return err
 		}
@@ -637,14 +667,14 @@ func (s *Server) handleNot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp handleResp
-	err = run(r, sess, func(context.Context) error {
+	err = run(r, sess, func(ctx context.Context) error {
 		f, err := sess.bdd(req.F)
 		if err != nil {
 			return err
 		}
 		b := f.Not()
 		h := sess.put(b)
-		if err := sess.journal(wal.NotRec{F: req.F, Handle: h}); err != nil {
+		if err := sess.journalCtx(ctx, wal.NotRec{F: req.F, Handle: h}); err != nil {
 			sess.unput(h, b)
 			return err
 		}
@@ -681,7 +711,7 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp handleResp
-	err = run(r, sess, func(context.Context) error {
+	err = run(r, sess, func(ctx context.Context) error {
 		f, err := sess.bdd(req.F)
 		if err != nil {
 			return err
@@ -693,7 +723,7 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 			b = f.Forall(req.Vars...)
 		}
 		h := sess.put(b)
-		if err := sess.journal(wal.QuantifyRec{Forall: req.Kind == "forall", F: req.F, Vars: req.Vars, Handle: h}); err != nil {
+		if err := sess.journalCtx(ctx, wal.QuantifyRec{Forall: req.Kind == "forall", F: req.F, Vars: req.Vars, Handle: h}); err != nil {
 			sess.unput(h, b)
 			return err
 		}
@@ -726,14 +756,14 @@ func (s *Server) handleRestrict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp handleResp
-	err = run(r, sess, func(context.Context) error {
+	err = run(r, sess, func(ctx context.Context) error {
 		f, err := sess.bdd(req.F)
 		if err != nil {
 			return err
 		}
 		b := f.Restrict(req.Var, req.Value)
 		h := sess.put(b)
-		if err := sess.journal(wal.RestrictRec{F: req.F, Var: req.Var, Value: req.Value, Handle: h}); err != nil {
+		if err := sess.journalCtx(ctx, wal.RestrictRec{F: req.F, Var: req.Var, Value: req.Value, Handle: h}); err != nil {
 			sess.unput(h, b)
 			return err
 		}
@@ -766,7 +796,7 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp handleResp
-	err = run(r, sess, func(context.Context) error {
+	err = run(r, sess, func(ctx context.Context) error {
 		f, err := sess.bdd(req.F)
 		if err != nil {
 			return err
@@ -777,7 +807,7 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 		}
 		b := f.Compose(req.Var, g)
 		h := sess.put(b)
-		if err := sess.journal(wal.ComposeRec{F: req.F, G: req.G, Var: req.Var, Handle: h}); err != nil {
+		if err := sess.journalCtx(ctx, wal.ComposeRec{F: req.F, G: req.G, Var: req.Var, Handle: h}); err != nil {
 			sess.unput(h, b)
 			return err
 		}
@@ -808,7 +838,7 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var freed int
-	err = run(r, sess, func(context.Context) error {
+	err = run(r, sess, func(ctx context.Context) error {
 		// Validate the whole list before journaling anything: the free is
 		// acknowledged all-or-nothing, and its record must describe only
 		// frees that then actually happen (replay treats a missing handle
@@ -824,7 +854,7 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 			}
 			seen[h] = struct{}{}
 		}
-		if err := sess.journal(wal.FreeRec{Handles: req.Handles}); err != nil {
+		if err := sess.journalCtx(ctx, wal.FreeRec{Handles: req.Handles}); err != nil {
 			return err
 		}
 		for _, h := range req.Handles {
@@ -931,12 +961,12 @@ func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var nodes uint64
-	err = run(r, sess, func(context.Context) error {
+	err = run(r, sess, func(ctx context.Context) error {
 		// Journal before collecting: a GC compaction rewrites node indices,
 		// so replay must run it at the same point in the operation stream to
 		// keep downstream structure identical. GC itself cannot fail, so
 		// journal-first never records a GC that didn't happen.
-		if err := sess.journal(wal.GCRec{}); err != nil {
+		if err := sess.journalCtx(ctx, wal.GCRec{}); err != nil {
 			return err
 		}
 		sess.mgr.GC()

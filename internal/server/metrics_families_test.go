@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bufio"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrapeMetrics fetches /metrics and returns every sample keyed by
+// metric family name (label sets and histogram suffixes collapse onto
+// their family), with all parsed values per family.
+func scrapeMetrics(t *testing.T, base string) map[string][]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics -> %d", resp.StatusCode)
+	}
+	families := make(map[string][]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// "name{labels} value" or "name value".
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("metric %s has non-numeric value in %q: %v", name, line, err)
+		}
+		// Histogram series roll up into their family so one table row
+		// covers bucket/sum/count.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok &&
+				(base == "bfbdd_func_eval_batch_size" || base == "bfbdd_http_request_duration_seconds") {
+				name = base
+			}
+		}
+		families[name] = append(families[name], v)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return families
+}
+
+// TestMetricsFamiliesComplete runs a scripted workload touching every
+// server subsystem and then asserts that every documented bfbdd_*
+// family is present on /metrics with sane values — in particular the
+// names the README commits to (bfbdd_sessions_recovered_total,
+// bfbdd_checkpoints_written_total, bfbdd_checkpoint_errors_total, the
+// bfbdd_repl_* group, bfbdd_coalesced_*, and the per-session engine
+// counters). The follower-only bfbdd_repl_lag_* pair is exempt: it is
+// emitted only when the process runs with -follow.
+func TestMetricsFamiliesComplete(t *testing.T) {
+	_, ts := testServer(t, Config{
+		CheckpointDir:      t.TempDir(),
+		CheckpointInterval: -1, // checkpoints only on demand/shutdown
+	})
+
+	// Workload: session lifecycle, engine ops (coalesced + batch), GC,
+	// queries, a snapshot export, a published artifact, and evals.
+	sid := createSession(t, ts.URL, SessionOptions{Vars: 4})
+	v0 := mkVar(t, ts.URL, sid, 0, false)
+	v1 := mkVar(t, ts.URL, sid, 1, false)
+	and := apply(t, ts.URL, sid, "and", v0, v1)
+	mustCall(t, "POST", ts.URL+"/v1/sessions/"+sid+"/batch", map[string]any{
+		"ops": []map[string]any{
+			{"op": "or", "f": v0, "g": v1},
+			{"op": "xor", "f": v0, "g": v1},
+		},
+	}, http.StatusOK)
+	mustCall(t, "POST", ts.URL+"/v1/sessions/"+sid+"/query",
+		map[string]any{"kind": "satcount", "f": and}, http.StatusOK)
+	mustCall(t, "POST", ts.URL+"/v1/sessions/"+sid+"/gc", nil, http.StatusOK)
+	mustCall(t, "POST", ts.URL+"/v1/sessions/"+sid+"/publish",
+		map[string]any{"name": "mfam", "handles": []uint64{and}}, http.StatusCreated)
+	mustCall(t, "POST", ts.URL+"/v1/funcs/mfam/eval", map[string]any{
+		"assignments": [][]bool{
+			{true, true, false, false},
+			{true, false, false, false},
+		},
+	}, http.StatusOK)
+	mustCall(t, "POST", ts.URL+"/v1/sessions/"+sid+"/free",
+		map[string]any{"handle": and}, http.StatusOK)
+	// One rejected request so error-path counters have been exercised.
+	mustCall(t, "GET", ts.URL+"/v1/sessions/nope", nil, http.StatusNotFound)
+
+	families := scrapeMetrics(t, ts.URL)
+
+	cases := []struct {
+		family       string
+		wantPositive bool // the workload above guarantees a nonzero value
+	}{
+		// Server/session lifecycle.
+		{"bfbdd_sessions_open", true},
+		{"bfbdd_sessions_poisoned", false},
+		{"bfbdd_pool_live_bytes", true},
+		{"bfbdd_sessions_created_total", true},
+		{"bfbdd_sessions_expired_total", false},
+		{"bfbdd_sessions_recovered_total", false},
+		{"bfbdd_sessions_poisoned_total", false},
+		// Checkpoints.
+		{"bfbdd_checkpoints_written_total", false},
+		{"bfbdd_checkpoint_errors_total", false},
+		{"bfbdd_checkpoint_failures_total", false},
+		{"bfbdd_checkpoint_retries_total", false},
+		// Coalescer and admission.
+		{"bfbdd_coalesced_batches_total", true},
+		{"bfbdd_coalesced_ops_total", true},
+		{"bfbdd_http_inflight_requests", false}, // /metrics is outside admission
+		{"bfbdd_http_rejected_total", false},
+		{"bfbdd_http_rejected_over_budget_total", false},
+		// Compiled-function artifacts.
+		{"bfbdd_funcs_open", true},
+		{"bfbdd_funcs_bytes", true},
+		{"bfbdd_funcs_published_total", true},
+		{"bfbdd_funcs_recovered_total", false},
+		{"bfbdd_funcs_reload_errors_total", false},
+		{"bfbdd_funcs_published_bytes_total", true},
+		{"bfbdd_func_eval_requests_total", true},
+		{"bfbdd_func_eval_assignments_total", true},
+		{"bfbdd_func_eval_batch_size", true},
+		// Write-ahead log.
+		{"bfbdd_wal_appended_records_total", true},
+		{"bfbdd_wal_append_errors_total", false},
+		{"bfbdd_wal_fsyncs_total", false},
+		{"bfbdd_wal_rotations_total", false},
+		{"bfbdd_wal_segments_truncated_total", false},
+		{"bfbdd_wal_replayed_records_total", false},
+		{"bfbdd_wal_torn_tail_discards_total", false},
+		{"bfbdd_wal_chain_rejects_total", false},
+		{"bfbdd_wal_recovery_seconds", false},
+		// Replication (primary side; persistence is on, so the whole
+		// group must be exported even with no follower connected).
+		{"bfbdd_repl_epoch", false},
+		{"bfbdd_repl_writable", true},
+		{"bfbdd_repl_followers", false},
+		{"bfbdd_repl_batches_shipped_total", false},
+		{"bfbdd_repl_bytes_shipped_total", false},
+		{"bfbdd_repl_snapshots_served_total", false},
+		{"bfbdd_repl_snapshot_bytes_served_total", false},
+		{"bfbdd_repl_sync_stalls_total", false},
+		{"bfbdd_repl_records_applied_total", false},
+		{"bfbdd_repl_bytes_received_total", false},
+		{"bfbdd_repl_reconnects_total", false},
+		{"bfbdd_repl_bootstraps_total", false},
+		{"bfbdd_repl_stale_epoch_refusals_total", false},
+		// HTTP route series.
+		{"bfbdd_http_requests_total", true},
+		{"bfbdd_http_request_duration_seconds", true},
+		// Per-session engine counters (the paper's instrumentation).
+		{"bfbdd_session_ops_total", true},
+		{"bfbdd_session_cache_hits_total", false},
+		{"bfbdd_session_terminals_total", true},
+		{"bfbdd_session_steals_total", false},
+		{"bfbdd_session_stolen_ops_total", false},
+		{"bfbdd_session_stalls_total", false},
+		{"bfbdd_session_context_pushes_total", false},
+		{"bfbdd_session_lock_wait_seconds_total", false},
+		{"bfbdd_session_expansion_seconds_total", false},
+		{"bfbdd_session_reduction_seconds_total", false},
+		{"bfbdd_session_gc_mark_seconds_total", false},
+		{"bfbdd_session_gc_fix_seconds_total", false},
+		{"bfbdd_session_gc_rehash_seconds_total", false},
+		{"bfbdd_session_gc_runs_total", true},
+		{"bfbdd_session_peak_bytes", true},
+		{"bfbdd_session_mem_bytes", true},
+		{"bfbdd_session_eval_threshold", false},
+		{"bfbdd_session_budget_forced_gcs_total", false},
+		{"bfbdd_session_budget_threshold_drops_total", false},
+		{"bfbdd_session_budget_cache_shrinks_total", false},
+		{"bfbdd_session_budget_aborts_total", false},
+		{"bfbdd_session_live_nodes", true},
+		{"bfbdd_session_pins", true},
+		{"bfbdd_session_handles", true},
+	}
+	for _, c := range cases {
+		vals, ok := families[c.family]
+		if !ok {
+			t.Errorf("family %s missing from /metrics", c.family)
+			continue
+		}
+		var max float64
+		for _, v := range vals {
+			if v < 0 {
+				t.Errorf("family %s has negative sample %g", c.family, v)
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if c.wantPositive && max == 0 {
+			t.Errorf("family %s is all-zero after the workload", c.family)
+		}
+	}
+
+	// Inverse direction: nothing bfbdd_* shows up on the scrape that the
+	// table (and thus the documentation) does not know about. A new
+	// metric must land here and in the README together.
+	known := make(map[string]bool, len(cases))
+	for _, c := range cases {
+		known[c.family] = true
+	}
+	for fam := range families {
+		if strings.HasPrefix(fam, "bfbdd_") && !known[fam] {
+			t.Errorf("undocumented family %s exported on /metrics; add it to this table and the README", fam)
+		}
+	}
+}

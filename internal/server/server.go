@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"bfbdd/internal/replication"
+	"bfbdd/internal/trace"
 	"bfbdd/internal/wal"
 )
 
@@ -138,6 +139,19 @@ type Config struct {
 	// acknowledgment waits for the committed records to reach every
 	// connected follower's socket before dropping the laggards.
 	ReplSyncTimeout time.Duration
+	// TraceSample is the head-based build-trace sampling rate in [0,1]:
+	// that fraction of requests records a full span tree (handler →
+	// queue wait → batch → per-level kernel phases → WAL commit →
+	// replication gate), retained in an in-process ring served by
+	// GET /v1/debug/traces. Zero (the default) disables sampling; a
+	// request carrying ?trace=1 is traced regardless.
+	TraceSample float64
+	// TraceRingSize is how many completed traces the ring retains.
+	TraceRingSize int
+	// SlowBuildThreshold, when positive, logs a per-phase breakdown of
+	// any engine build whose wall time exceeds it. Works without
+	// sampling: detection is driven by engine stats deltas.
+	SlowBuildThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +203,9 @@ func (c Config) withDefaults() Config {
 	if c.ReplSyncTimeout <= 0 {
 		c.ReplSyncTimeout = 2 * time.Second
 	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 128
+	}
 	return c
 }
 
@@ -201,6 +218,7 @@ type Server struct {
 	funcs   *funcRegistry
 	metrics *metrics
 	limits  *limits
+	tracer  *trace.Tracer
 	ckpt    *checkpointer // nil unless cfg.CheckpointDir is set
 
 	// Replication state. hub is the primary-side commit/delivery
@@ -235,6 +253,7 @@ func New(cfg Config) *Server {
 		limits:      newLimits(cfg, m),
 		reg:         newRegistry(cfg, m),
 		funcs:       newFuncRegistry(cfg, m),
+		tracer:      trace.NewTracer(cfg.TraceSample, cfg.TraceRingSize),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}

@@ -18,6 +18,7 @@ import (
 	"bfbdd"
 	"bfbdd/internal/faultinject"
 	"bfbdd/internal/snapshot"
+	"bfbdd/internal/trace"
 	"bfbdd/internal/wal"
 )
 
@@ -220,6 +221,12 @@ type session struct {
 	// kernel unwinds those to a consistent, reusable manager.
 	poisoned atomic.Bool
 
+	// slowThreshold, when positive, logs a per-phase breakdown of any
+	// engine build that takes longer (Config.SlowBuildThreshold). It is
+	// independent of trace sampling: slow-build detection works from
+	// stats deltas alone, so it catches unsampled requests too.
+	slowThreshold time.Duration
+
 	// lastUsed is the unix-nano time of the last request (idle expiry).
 	lastUsed atomic.Int64
 
@@ -354,19 +361,62 @@ func (s *session) unput(h uint64, b *bfbdd.BDD) {
 // makes them durable per the configured sync policy before returning.
 // With no WAL (persistence disabled) it is a no-op.
 func (s *session) journal(recs ...wal.Record) error {
+	return s.journalT(nil, 0, recs...)
+}
+
+// journalCtx is journal with the request trace (if any) extracted from
+// ctx, so a traced mutation records its durability cost.
+func (s *session) journalCtx(ctx context.Context, recs ...wal.Record) error {
+	t, parent := trace.FromContext(ctx)
+	return s.journalT(t, parent, recs...)
+}
+
+// journalT is journal under an explicit trace: the group-commit append
+// (including the policy's fsync) is recorded as a "wal-commit" span and
+// the replication gate — commit notification, plus the wait for
+// follower delivery under -wal-sync=always — as a "repl-await" span.
+// Both spans are children of parent; t may be nil (untraced).
+func (s *session) journalT(t *trace.Trace, parent trace.SpanID, recs ...wal.Record) error {
 	if s.wal == nil || len(recs) == 0 {
 		return nil
 	}
-	if err := s.wal.Append(recs...); err != nil {
+	ws := t.Start(parent, "wal-commit")
+	err := s.wal.Append(recs...)
+	t.End(ws, trace.I("records", int64(len(recs))))
+	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	if s.ship != nil {
 		// Seq() may already reflect a racing later append; shipping a
 		// higher watermark is harmless (commit notifications are
 		// monotonic and the frames behind it are equally durable).
-		s.ship(s.wal.Seq())
+		seq := s.wal.Seq()
+		rs := t.Start(parent, "repl-await")
+		s.ship(seq)
+		t.End(rs, trace.I("seq", int64(seq)))
 	}
 	return nil
+}
+
+// noteSlowBuild logs the phase breakdown of a build that exceeded the
+// session's slow-build threshold. before must be the Stats snapshot
+// taken just before the build (the caller only takes it when the
+// threshold is set). Executor goroutine only.
+func (s *session) noteSlowBuild(op string, elapsed time.Duration, before bfbdd.Stats) {
+	if s.slowThreshold <= 0 || elapsed < s.slowThreshold {
+		return
+	}
+	after := s.mgr.Stats()
+	log.Printf("server: slow build: session=%s op=%s wall=%v shannon_steps=%d cache_hits=%d "+
+		"expansion=%v reduction=%v gc_mark=%v gc_fix=%v gc_rehash=%v lock_wait=%v "+
+		"steals=%d stalls=%d nodes_delta=%d",
+		s.id, op, elapsed.Round(time.Microsecond),
+		after.Ops-before.Ops, after.CacheHits-before.CacheHits,
+		after.ExpansionTime-before.ExpansionTime, after.ReductionTime-before.ReductionTime,
+		after.GCMarkTime-before.GCMarkTime, after.GCFixTime-before.GCFixTime,
+		after.GCRehashTime-before.GCRehashTime, after.LockWait-before.LockWait,
+		after.Steals-before.Steals, after.Stalls-before.Stalls,
+		int64(after.NumNodes)-int64(before.NumNodes))
 }
 
 // free releases a wire handle; executor goroutine only.
@@ -485,14 +535,15 @@ func (r *registry) createAt(id string, o SessionOptions, openWAL bool) (*session
 	}
 
 	s := &session{
-		id:      id,
-		engine:  engine,
-		vars:    o.Vars,
-		opts:    o,
-		created: time.Now(),
-		mgr:     bfbdd.New(o.Vars, opts...),
-		m:       r.m,
-		handles: make(map[uint64]*bfbdd.BDD),
+		id:            id,
+		engine:        engine,
+		vars:          o.Vars,
+		opts:          o,
+		created:       time.Now(),
+		mgr:           bfbdd.New(o.Vars, opts...),
+		m:             r.m,
+		handles:       make(map[uint64]*bfbdd.BDD),
+		slowThreshold: r.cfg.SlowBuildThreshold,
 	}
 	s.exec = newExecutor(r.cfg.MaxQueuedPerSession, s.refreshStats)
 	s.coal = newCoalescer(s, r.cfg, r.m)
@@ -606,14 +657,15 @@ func (r *registry) restore(id string, o SessionOptions, src io.Reader, attach fu
 
 	o.Vars = mgr.NumVars()
 	s := &session{
-		id:      id,
-		engine:  engine,
-		vars:    mgr.NumVars(),
-		opts:    o,
-		created: time.Now(),
-		mgr:     mgr,
-		m:       r.m,
-		handles: make(map[uint64]*bfbdd.BDD, len(roots)),
+		id:            id,
+		engine:        engine,
+		vars:          mgr.NumVars(),
+		opts:          o,
+		created:       time.Now(),
+		mgr:           mgr,
+		m:             r.m,
+		handles:       make(map[uint64]*bfbdd.BDD, len(roots)),
+		slowThreshold: r.cfg.SlowBuildThreshold,
 	}
 	for _, rt := range roots {
 		if _, dup := s.handles[rt.ID]; dup {

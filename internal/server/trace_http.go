@@ -1,0 +1,80 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+
+	"bfbdd/internal/trace"
+)
+
+// traced wraps one route with build tracing. The head sampler (or an
+// explicit ?trace=1 in the query string) selects the request; a selected
+// request gets a root span named after the route pattern, the trace and
+// root travel down the request context into the executor, coalescer,
+// kernel, and WAL hooks, and the completed trace is sealed into the
+// tracer's ring where GET /v1/debug/traces serves it. The response
+// carries the trace id in an X-Bfbdd-Trace header so a client can fetch
+// its own trace directly.
+//
+// An unselected request pays one substring probe of the raw query and
+// one atomic increment — every downstream hook then short-circuits on a
+// nil trace.
+func (s *Server) traced(pattern string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// RawQuery is probed directly (no url.Values allocation); a
+		// false positive like x=trace=1 merely traces one extra request.
+		forced := r.URL.RawQuery != "" && strings.Contains(r.URL.RawQuery, "trace=1")
+		t := s.tracer.Sample(forced)
+		if t == nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("X-Bfbdd-Trace", trace.FormatTraceID(t.ID()))
+		root := t.Start(0, pattern)
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sr, r.WithContext(trace.NewContext(r.Context(), t, root)))
+		t.End(root, trace.I("status", int64(sr.code)))
+		s.tracer.Collect(t)
+	})
+}
+
+// traceSummary is one row of the trace listing.
+type traceSummary struct {
+	TraceID     string `json:"trace_id"`
+	Root        string `json:"root"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	DurationNs  int64  `json:"duration_ns"`
+	Spans       int    `json:"spans"`
+	Forced      bool   `json:"forced,omitempty"`
+}
+
+// handleListTraces lists the retained traces, newest first.
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	snap := s.tracer.Ring().Snapshot()
+	out := make([]traceSummary, 0, len(snap))
+	for _, ex := range snap {
+		out = append(out, traceSummary{
+			TraceID:     ex.TraceID,
+			Root:        ex.Root,
+			StartUnixNs: ex.StartUnixNs,
+			DurationNs:  ex.DurationNs,
+			Spans:       len(ex.Spans),
+			Forced:      ex.Forced,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sampling": s.tracer.SamplingEnabled(),
+		"traces":   out,
+	})
+}
+
+// handleGetTrace serves one retained trace's full export by id.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	tid := r.PathValue("tid")
+	ex := s.tracer.Ring().Get(tid)
+	if ex == nil {
+		writeError(w, http.StatusNotFound, "no such trace: "+tid)
+		return
+	}
+	writeJSON(w, http.StatusOK, ex)
+}

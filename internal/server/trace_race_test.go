@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceConcurrentAppliesRace hammers the coalescer with concurrent
+// forced-trace applies and then audits every retained trace: valid
+// per the export schema, exactly one batch-owner per batch_id, member
+// join markers consistent with their owner, no span leaked open, and
+// the batch ops attributes accounting for every request exactly once.
+// Run under -race this doubles as the data-race check on the trace
+// ring, the coalescer's owner handoff, and the kernel's arm/disarm.
+func TestTraceConcurrentAppliesRace(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 20
+		total      = goroutines * perG
+	)
+	baseline := runtime.NumGoroutine()
+
+	srv := New(Config{
+		CoalesceWindow: 3 * time.Millisecond,
+		TraceRingSize:  4 * total,
+	})
+	ts := httptest.NewServer(srv.Handler())
+
+	sid := createSession(t, ts.URL, SessionOptions{Vars: 8})
+	v0 := mkVar(t, ts.URL, sid, 0, false)
+	v1 := mkVar(t, ts.URL, sid, 1, false)
+
+	tids := make([][]string, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ops := [...]string{"and", "or", "xor"}
+			for i := 0; i < perG; i++ {
+				body, _ := json.Marshal(map[string]any{
+					"op": ops[(g+i)%len(ops)], "f": v0, "g": v1,
+				})
+				resp, err := http.Post(
+					ts.URL+"/v1/sessions/"+sid+"/apply?trace=1",
+					"application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("goroutine %d apply %d: %v", g, i, err)
+					return
+				}
+				tid := resp.Header.Get("X-Bfbdd-Trace")
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("goroutine %d apply %d: status %d", g, i, resp.StatusCode)
+					return
+				}
+				if tid == "" {
+					t.Errorf("goroutine %d apply %d: no trace header", g, i)
+					return
+				}
+				tids[g] = append(tids[g], tid)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every forced trace must have been retained: the ring was sized
+	// for the full workload plus the session-setup traces... which were
+	// not forced, so the count is exactly the applies.
+	if n := srv.tracer.Ring().Len(); n != total {
+		t.Fatalf("ring holds %d traces, want %d", n, total)
+	}
+
+	type ownerInfo struct {
+		ops    int64
+		traces int
+	}
+	owners := make(map[int64]*ownerInfo) // batch_id -> owner batch span info
+	members := make(map[int64]int)       // batch_id -> join markers seen
+	for g := range tids {
+		for _, tid := range tids[g] {
+			ex := srv.tracer.Ring().Get(tid)
+			if ex == nil {
+				t.Fatalf("trace %s fell out of an oversized ring", tid)
+			}
+			if err := ex.Validate(); err != nil {
+				t.Fatalf("trace %s invalid: %v", tid, err)
+			}
+			for i := range ex.Spans {
+				if _, leaked := ex.Spans[i].Attr("unfinished"); leaked {
+					t.Fatalf("trace %s span %q force-closed at seal time", tid, ex.Spans[i].Name)
+				}
+			}
+			if ex.FindSpan("queue-wait") == nil {
+				t.Fatalf("trace %s missing queue-wait", tid)
+			}
+			batch, join := ex.FindSpan("batch"), ex.FindSpan("batch-join")
+			switch {
+			case batch != nil && join == nil:
+				id, ok := batch.Attr("batch_id")
+				if !ok {
+					t.Fatalf("trace %s batch span lacks batch_id", tid)
+				}
+				if owners[id] != nil {
+					t.Fatalf("batch_id %d claimed by two owner traces", id)
+				}
+				ops, _ := batch.Attr("ops")
+				owners[id] = &ownerInfo{ops: ops, traces: 1}
+				if ex.FindSpan("kernel-build") == nil {
+					t.Fatalf("owner trace %s missing kernel-build", tid)
+				}
+				if ex.FindSpan("wal-commit") != nil {
+					// WAL is off in this config; no stray spans.
+					t.Fatalf("owner trace %s has wal-commit without a WAL", tid)
+				}
+			case join != nil && batch == nil:
+				id, ok := join.Attr("batch_id")
+				if !ok {
+					t.Fatalf("trace %s batch-join lacks batch_id", tid)
+				}
+				members[id]++
+				if ex.FindSpan("kernel-build") != nil {
+					t.Fatalf("member trace %s carries a kernel-build", tid)
+				}
+			default:
+				t.Fatalf("trace %s: batch=%v batch-join=%v, want exactly one",
+					tid, batch != nil, join != nil)
+			}
+		}
+	}
+
+	var opsSum, ownerCount int64
+	for id, o := range owners {
+		opsSum += o.ops
+		ownerCount++
+		if got := int64(members[id]) + 1; got != o.ops {
+			t.Errorf("batch %d: owner says ops=%d, traces account for %d", id, o.ops, got)
+		}
+	}
+	for id := range members {
+		if owners[id] == nil {
+			t.Errorf("batch %d has members but no owner trace", id)
+		}
+	}
+	if opsSum != total {
+		t.Fatalf("owner batches account for %d ops, want %d", opsSum, total)
+	}
+	if batches := int64(srv.metrics.coalescedBatches.Load()); batches != ownerCount {
+		t.Fatalf("coalescedBatches metric = %d, owner batch spans = %d", batches, ownerCount)
+	}
+
+	// Shut down and confirm the tracing machinery leaked no goroutines:
+	// the tracer is hook-based (no background collector), so the count
+	// must return to the pre-server baseline.
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines %d > baseline %d after shutdown\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,226 @@
+// Package trace is a zero-dependency, allocation-frugal span tracer for
+// request-scoped diagnostics: one Trace per sampled request, a tree of
+// Spans recorded live from every layer the request crosses (HTTP handler,
+// executor queue, coalescer batch, kernel build phases, WAL commit,
+// replication gate), and a process-wide lock-free ring buffer retaining
+// the last N completed traces for export.
+//
+// Design constraints, in order:
+//
+//  1. Disabled cost ≈ zero. Every hook site guards on a plain nil check
+//     (untraced requests carry a nil *Trace; all methods are nil-safe),
+//     so the instrumented hot paths pay one pointer compare when tracing
+//     is off.
+//  2. No dependencies beyond the standard library, and no dependency on
+//     any other bfbdd package — the kernel imports this package, so it
+//     must sit at the bottom of the graph.
+//  3. Stable export schema. Exported traces serialize with fixed field
+//     ordering (struct-ordered JSON, attribute slices instead of maps) so
+//     golden tests and external consumers can rely on byte shape.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies a span within its trace: 1-based index into the
+// trace's span slice. The zero SpanID means "no span" — it is both the
+// root's parent and the id returned once the per-trace span cap is hit,
+// and every method accepts it as a no-op target.
+type SpanID uint32
+
+// Attr is one int64-valued span attribute. Attributes carry the paper's
+// counters (Shannon steps, cache hits, steal events, nodes created), so
+// integers cover the domain; keeping the value type flat avoids
+// interface boxing on the hot path.
+type Attr struct {
+	Key   string
+	Value int64
+}
+
+// I constructs an Attr (shorthand for call sites).
+func I(key string, value int64) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed operation within a trace.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	Start  time.Time
+	End    time.Time // zero until ended
+	Attrs  []Attr
+}
+
+// maxSpans bounds one trace's span count: a huge build emitting per-level
+// spans across many evaluation cycles must not grow a trace without
+// bound. Further Start calls return SpanID 0 and bump the dropped
+// counter, which the export reports.
+const maxSpans = 4096
+
+// Trace is one request's span tree. All methods are safe for concurrent
+// use (kernel workers record per-level spans from multiple goroutines)
+// and safe on a nil receiver (the untraced fast path).
+type Trace struct {
+	id     uint64
+	forced bool
+
+	mu      sync.Mutex
+	spans   []Span
+	open    int // spans started but not yet ended
+	dropped int
+	sealed  bool
+}
+
+// ID returns the trace's process-unique numeric id.
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// Forced reports whether the trace was forced by the request (?trace=1)
+// rather than selected by the sampler.
+func (t *Trace) Forced() bool { return t != nil && t.forced }
+
+// Start opens a span under parent (0 for a root span) and returns its id.
+// Nil-safe: a nil trace returns 0.
+func (t *Trace) Start(parent SpanID, name string) SpanID {
+	return t.StartAt(parent, name, time.Now())
+}
+
+// StartAt is Start with an explicit start time, for callers that captured
+// the instant before reaching for the trace (queue-wait reconstruction).
+func (t *Trace) StartAt(parent SpanID, name string, at time.Time) SpanID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sealed || len(t.spans) >= maxSpans {
+		t.dropped++
+		return 0
+	}
+	id := SpanID(len(t.spans) + 1)
+	t.spans = append(t.spans, Span{ID: id, Parent: parent, Name: name, Start: at})
+	t.open++
+	return id
+}
+
+// End closes the span, attaching attrs. Ending the zero span, an already
+// ended span, or any span of a nil trace is a no-op.
+func (t *Trace) End(id SpanID, attrs ...Attr) { t.EndAt(id, time.Now(), attrs...) }
+
+// EndAt is End with an explicit end time.
+func (t *Trace) EndAt(id SpanID, at time.Time, attrs ...Attr) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &t.spans[id-1]
+	if !sp.End.IsZero() {
+		return
+	}
+	sp.End = at
+	if len(attrs) > 0 {
+		sp.Attrs = append(sp.Attrs, attrs...)
+	}
+	t.open--
+}
+
+// Add records an already-completed span in one call (one lock
+// acquisition) — the shape the kernel's per-level phase hooks use.
+func (t *Trace) Add(parent SpanID, name string, start, end time.Time, attrs ...Attr) SpanID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sealed || len(t.spans) >= maxSpans {
+		t.dropped++
+		return 0
+	}
+	id := SpanID(len(t.spans) + 1)
+	s := Span{ID: id, Parent: parent, Name: name, Start: start, End: end}
+	if len(attrs) > 0 {
+		s.Attrs = append(s.Attrs, attrs...)
+	}
+	t.spans = append(t.spans, s)
+	return id
+}
+
+// Annotate appends attributes to an open or closed span.
+func (t *Trace) Annotate(id SpanID, attrs ...Attr) {
+	if t == nil || id == 0 || len(attrs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &t.spans[id-1]
+	sp.Attrs = append(sp.Attrs, attrs...)
+}
+
+// Finish seals the trace: any span still open is force-ended at now with
+// an unfinished=1 attribute (a span can be abandoned legitimately when
+// its request's context expires before the executor reaches the task).
+// After Finish the trace accepts no further spans. Returns the number of
+// spans that had to be force-ended.
+func (t *Trace) Finish() int {
+	if t == nil {
+		return 0
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sealed {
+		return 0
+	}
+	t.sealed = true
+	forced := 0
+	if t.open > 0 {
+		for i := range t.spans {
+			sp := &t.spans[i]
+			if sp.End.IsZero() {
+				sp.End = now
+				sp.Attrs = append(sp.Attrs, Attr{Key: "unfinished", Value: 1})
+				forced++
+			}
+		}
+		t.open = 0
+	}
+	return forced
+}
+
+// OpenSpans returns the number of started-but-unended spans (test hook).
+func (t *Trace) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.open
+}
+
+// Spans returns a copy of the recorded spans (test hook; attribute slices
+// are shared, callers must not mutate them).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// batchIDs numbers coalescer batches process-wide so every trace touched
+// by one flush can carry the same batch_id attribute without any shared
+// wiring between sessions.
+var batchIDs atomic.Uint64
+
+// NextBatchID returns a process-unique batch identifier.
+func NextBatchID() uint64 { return batchIDs.Add(1) }

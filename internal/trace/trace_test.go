@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	id := tr.Start(0, "root")
+	if id != 0 {
+		t.Fatalf("nil trace Start returned %d, want 0", id)
+	}
+	tr.End(id)
+	tr.Annotate(id, I("k", 1))
+	tr.Add(0, "x", time.Now(), time.Now())
+	if tr.Finish() != 0 || tr.Export() != nil || tr.ID() != 0 || tr.Forced() {
+		t.Fatal("nil trace methods must be no-ops")
+	}
+}
+
+func TestSpanLifecycleAndExport(t *testing.T) {
+	tc := NewTracer(1, 4)
+	tr := tc.Sample(false)
+	if tr == nil {
+		t.Fatal("rate-1 sampler must select every request")
+	}
+	root := tr.Start(0, "root")
+	child := tr.Start(root, "child")
+	tr.End(child, I("ops", 7))
+	grand := tr.Add(child, "grand", time.Now(), time.Now().Add(time.Millisecond), I("level", 3))
+	tr.End(root, I("status", 200))
+	if grand == 0 {
+		t.Fatal("Add returned zero id")
+	}
+	if n := tr.Finish(); n != 0 {
+		t.Fatalf("Finish force-ended %d spans, want 0", n)
+	}
+	ex := tc.Collect(tr)
+	if err := ex.Validate(); err != nil {
+		t.Fatalf("export invalid: %v", err)
+	}
+	if ex.Root != "root" || len(ex.Spans) != 3 {
+		t.Fatalf("unexpected export shape: root=%q spans=%d", ex.Root, len(ex.Spans))
+	}
+	if ex.Spans[1].Parent != int(root) || ex.Spans[2].Parent != int(child) {
+		t.Fatalf("parentage wrong: %+v", ex.Spans)
+	}
+	if v, ok := ex.Spans[1].Attr("ops"); !ok || v != 7 {
+		t.Fatalf("child attrs wrong: %+v", ex.Spans[1].Attrs)
+	}
+	if got := tc.Ring().Get(ex.TraceID); got != ex {
+		t.Fatal("ring did not retain the collected trace")
+	}
+}
+
+func TestFinishClosesOpenSpans(t *testing.T) {
+	tr := NewTracer(1, 1).Sample(false)
+	root := tr.Start(0, "root")
+	tr.Start(root, "abandoned")
+	if n := tr.Finish(); n != 2 {
+		t.Fatalf("Finish force-ended %d spans, want 2", n)
+	}
+	for _, sp := range tr.Spans() {
+		if sp.End.IsZero() {
+			t.Fatalf("span %q still open after Finish", sp.Name)
+		}
+		if v, ok := spanAttr(sp, "unfinished"); !ok || v != 1 {
+			t.Fatalf("span %q missing unfinished attr", sp.Name)
+		}
+	}
+	// A sealed trace accepts no further spans.
+	if id := tr.Start(0, "late"); id != 0 {
+		t.Fatalf("sealed trace accepted span %d", id)
+	}
+}
+
+func spanAttr(sp Span, key string) (int64, bool) {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return 0, false
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := NewTracer(1, 1).Sample(false)
+	root := tr.Start(0, "root")
+	for i := 0; i < maxSpans+10; i++ {
+		id := tr.Add(root, "s", time.Now(), time.Now())
+		if i < maxSpans-1 && id == 0 {
+			t.Fatalf("span %d dropped below the cap", i)
+		}
+	}
+	tr.Finish()
+	ex := tr.Export()
+	if len(ex.Spans) != maxSpans {
+		t.Fatalf("retained %d spans, want %d", len(ex.Spans), maxSpans)
+	}
+	if ex.DroppedSpans != 11 {
+		t.Fatalf("dropped %d spans, want 11", ex.DroppedSpans)
+	}
+}
+
+func TestSamplerCadence(t *testing.T) {
+	tc := NewTracer(0.25, 4)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if tr := tc.Sample(false); tr != nil {
+			sampled++
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("rate 0.25 sampled %d of 100, want 25", sampled)
+	}
+
+	off := NewTracer(0, 4)
+	for i := 0; i < 50; i++ {
+		if off.Sample(false) != nil {
+			t.Fatal("rate-0 sampler selected a request")
+		}
+	}
+	if tr := off.Sample(true); tr == nil || !tr.Forced() {
+		t.Fatal("forced request must be traced even at rate 0")
+	}
+	if off.SamplingEnabled() {
+		t.Fatal("rate-0 tracer reports sampling enabled")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tc := NewTracer(1, 3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr := tc.Sample(false)
+		tr.Start(0, fmt.Sprintf("t%d", i))
+		ex := tc.Collect(tr)
+		ids = append(ids, ex.TraceID)
+	}
+	ring := tc.Ring()
+	if ring.Len() != 3 {
+		t.Fatalf("ring holds %d traces, want 3", ring.Len())
+	}
+	snap := ring.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d traces, want 3", len(snap))
+	}
+	// Newest first: t4, t3, t2.
+	for i, want := range []string{ids[4], ids[3], ids[2]} {
+		if snap[i].TraceID != want {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, snap[i].TraceID, want)
+		}
+	}
+	if ring.Get(ids[0]) != nil {
+		t.Fatal("evicted trace still retrievable")
+	}
+	if ring.Get(ids[4]) == nil {
+		t.Fatal("newest trace not retrievable")
+	}
+}
+
+func TestConcurrentSpansAndRing(t *testing.T) {
+	tc := NewTracer(1, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := tc.Sample(false)
+				root := tr.Start(0, "root")
+				var inner sync.WaitGroup
+				for w := 0; w < 4; w++ {
+					inner.Add(1)
+					go func(w int) {
+						defer inner.Done()
+						id := tr.Start(root, "worker")
+						tr.End(id, I("w", int64(w)))
+					}(w)
+				}
+				inner.Wait()
+				tr.End(root)
+				ex := tc.Collect(tr)
+				if err := ex.Validate(); err != nil {
+					t.Errorf("concurrent trace invalid: %v", err)
+					return
+				}
+				// Reads race writes by design; they must still be sane.
+				tc.Ring().Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestExportJSONStableSchema(t *testing.T) {
+	tr := NewTracer(1, 1).Sample(false)
+	root := tr.Start(0, "root")
+	tr.End(root, I("a", 1))
+	tr.Finish()
+	b, err := json.Marshal(tr.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Struct-ordered keys: trace_id first, spans last.
+	s := string(b)
+	if got := s[:12]; got != `{"trace_id":` {
+		t.Fatalf("trace_id is not the first field: %s", s)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if tr, p := FromContext(context.Background()); tr != nil || p != 0 {
+		t.Fatal("empty context must carry no trace")
+	}
+	tr := NewTracer(1, 1).Sample(false)
+	root := tr.Start(0, "root")
+	ctx := NewContext(context.Background(), tr, root)
+	got, parent := FromContext(ctx)
+	if got != tr || parent != root {
+		t.Fatal("context round-trip lost the trace")
+	}
+	// A nil trace does not pollute the context.
+	if ctx2 := NewContext(context.Background(), nil, 0); ctx2 != context.Background() {
+		t.Fatal("NewContext with nil trace must return ctx unchanged")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	mk := func() *Exported {
+		return &Exported{
+			TraceID: "t-1",
+			Spans: []ExportedSpan{
+				{Span: 1, Name: "root"},
+				{Span: 2, Parent: 1, Name: "child"},
+			},
+		}
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("well-formed trace rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Exported)
+	}{
+		{"empty id", func(ex *Exported) { ex.TraceID = "" }},
+		{"no spans", func(ex *Exported) { ex.Spans = nil }},
+		{"gap in ids", func(ex *Exported) { ex.Spans[1].Span = 3 }},
+		{"forward parent", func(ex *Exported) { ex.Spans[1].Parent = 2 }},
+		{"second root", func(ex *Exported) { ex.Spans[1].Parent = 0 }},
+		{"negative duration", func(ex *Exported) { ex.Spans[0].DurationNs = -1 }},
+		{"empty name", func(ex *Exported) { ex.Spans[1].Name = "" }},
+		{"empty attr key", func(ex *Exported) { ex.Spans[1].Attrs = []ExportedAttr{{Key: ""}} }},
+	}
+	for _, c := range cases {
+		ex := mk()
+		c.mut(ex)
+		if err := ex.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a malformed trace", c.name)
+		}
+	}
+}

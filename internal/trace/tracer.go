@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+)
+
+// Ring is a lock-free ring buffer of the last N exported traces. Writers
+// claim a slot with one atomic increment and publish with one atomic
+// pointer store; readers snapshot with atomic loads. A reader racing a
+// writer sees either the evicted or the new trace in the contended slot —
+// never a torn value — which is the right trade for a debug surface.
+type Ring struct {
+	slots []atomic.Pointer[Exported]
+	head  atomic.Uint64
+}
+
+// NewRing creates a ring retaining the last size traces (minimum 1).
+func NewRing(size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Exported], size)}
+}
+
+// Put records one exported trace, evicting the oldest when full.
+func (r *Ring) Put(ex *Exported) {
+	if ex == nil {
+		return
+	}
+	slot := (r.head.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[slot].Store(ex)
+}
+
+// Len returns the number of traces currently retained.
+func (r *Ring) Len() int {
+	n := 0
+	for i := range r.slots {
+		if r.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *Ring) Snapshot() []*Exported {
+	head := r.head.Load()
+	n := uint64(len(r.slots))
+	out := make([]*Exported, 0, n)
+	// Walk backwards from the most recently claimed slot.
+	for i := uint64(0); i < n; i++ {
+		slot := (head + n - 1 - i) % n
+		if ex := r.slots[slot].Load(); ex != nil {
+			out = append(out, ex)
+		}
+	}
+	return out
+}
+
+// Get returns the retained trace with the given id, or nil.
+func (r *Ring) Get(id string) *Exported {
+	for i := range r.slots {
+		if ex := r.slots[i].Load(); ex != nil && ex.TraceID == id {
+			return ex
+		}
+	}
+	return nil
+}
+
+// Tracer is the per-process tracing control plane: head-based sampling
+// decisions, trace id allocation, and the completed-trace ring.
+type Tracer struct {
+	ring *Ring
+	ids  atomic.Uint64
+	ctr  atomic.Uint64
+
+	// sampleEvery selects every Nth request for tracing; 0 disables
+	// sampling entirely (forced traces still record).
+	sampleEvery uint64
+}
+
+// NewTracer creates a tracer that head-samples the given fraction of
+// requests (clamped to [0,1]; 0 disables sampling) into a ring of
+// ringSize completed traces.
+func NewTracer(sampleRate float64, ringSize int) *Tracer {
+	t := &Tracer{ring: NewRing(ringSize)}
+	switch {
+	case sampleRate <= 0 || math.IsNaN(sampleRate):
+		t.sampleEvery = 0
+	case sampleRate >= 1:
+		t.sampleEvery = 1
+	default:
+		t.sampleEvery = uint64(math.Round(1 / sampleRate))
+	}
+	return t
+}
+
+// SamplingEnabled reports whether the head sampler selects any requests
+// at all (forced traces bypass it).
+func (tr *Tracer) SamplingEnabled() bool { return tr != nil && tr.sampleEvery > 0 }
+
+// Sample makes the head-based decision for one request: a forced request
+// always gets a trace, otherwise every sampleEvery-th request does. The
+// returned trace is nil for unselected requests — the nil flows through
+// every hook unchanged, which is the disabled fast path.
+func (tr *Tracer) Sample(forced bool) *Trace {
+	if tr == nil {
+		return nil
+	}
+	if !forced {
+		if tr.sampleEvery == 0 {
+			return nil
+		}
+		if tr.ctr.Add(1)%tr.sampleEvery != 0 {
+			return nil
+		}
+	}
+	return &Trace{id: tr.ids.Add(1), forced: forced}
+}
+
+// Collect seals a trace and retains its export in the ring. Nil-safe.
+func (tr *Tracer) Collect(t *Trace) *Exported {
+	if tr == nil || t == nil {
+		return nil
+	}
+	t.Finish()
+	ex := t.Export()
+	tr.ring.Put(ex)
+	return ex
+}
+
+// Ring exposes the completed-trace ring (export endpoints, tests).
+func (tr *Tracer) Ring() *Ring { return tr.ring }
+
+// Context plumbing: a trace and the current parent span travel down the
+// request path inside the context, so layers that only see a context
+// (Manager.ApplyBatchCtx, for one) can still attach child spans.
+
+type ctxKey struct{}
+
+type ctxVal struct {
+	t      *Trace
+	parent SpanID
+}
+
+// NewContext returns ctx carrying the trace and parent span.
+func NewContext(ctx context.Context, t *Trace, parent SpanID) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{t: t, parent: parent})
+}
+
+// FromContext extracts the trace and parent span from ctx; (nil, 0) when
+// the request is untraced.
+func FromContext(ctx context.Context) (*Trace, SpanID) {
+	if ctx == nil {
+		return nil, 0
+	}
+	if v, ok := ctx.Value(ctxKey{}).(ctxVal); ok {
+		return v.t, v.parent
+	}
+	return nil, 0
+}

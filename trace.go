@@ -1,0 +1,45 @@
+package bfbdd
+
+import (
+	"context"
+
+	"bfbdd/internal/trace"
+)
+
+// traceBuild arms the kernel with the trace carried in ctx (if any) for
+// the duration of one top-level build. While armed, the workers record
+// per-level expansion/reduction spans and the collector records gc spans
+// as children of the returned "kernel-build" span; the finished span
+// carries the paper's counters — Shannon expansion steps, cache hits,
+// steal events, nodes created — as attributes, computed as Stats deltas
+// across the build.
+//
+// The returned func must be called (deferred) when the build completes.
+// For untraced requests it is a no-op and the arming costs one context
+// lookup.
+func (m *Manager) traceBuild(ctx context.Context) func() {
+	tr, parent := trace.FromContext(ctx)
+	if tr == nil {
+		return func() {}
+	}
+	before := m.Stats()
+	id := tr.Start(parent, "kernel-build")
+	m.k.ArmTrace(tr, id)
+	return func() {
+		m.k.DisarmTrace()
+		after := m.Stats()
+		tr.End(id,
+			trace.I("shannon_steps", int64(after.Ops-before.Ops)),
+			trace.I("cache_hits", int64(after.CacheHits-before.CacheHits)),
+			trace.I("terminals", int64(after.Terminals-before.Terminals)),
+			trace.I("steals", int64(after.Steals-before.Steals)),
+			trace.I("stolen_ops", int64(after.StolenOps-before.StolenOps)),
+			trace.I("stalls", int64(after.Stalls-before.Stalls)),
+			trace.I("context_pushes", int64(after.ContextPushes-before.ContextPushes)),
+			trace.I("lock_wait_ns", int64(after.LockWait-before.LockWait)),
+			trace.I("nodes_created", int64(after.NumNodes)-int64(before.NumNodes)),
+			trace.I("expansion_ns", int64(after.ExpansionTime-before.ExpansionTime)),
+			trace.I("reduction_ns", int64(after.ReductionTime-before.ReductionTime)),
+		)
+	}
+}
