@@ -21,6 +21,14 @@
 // OOMing the process), and -max-total-bytes sheds allocating requests
 // with 429 + Retry-After while the whole pool is over budget.
 //
+// Memory tiering: with a spill directory (-spill-dir, defaulting to
+// <checkpoint-dir>/spill when persistence is on) quiescent sessions can
+// park their node levels in spill files and run larger-than-RAM pools.
+// -session-idle-spill tiers idle sessions down automatically, and
+// -max-resident-bytes spills the coldest sessions instead of shedding
+// when the heap-resident pool exceeds the cap; spilled sessions fault
+// their levels back in transparently on the next operation.
+//
 // Hot standby: -follow=<primary-url> (requires -checkpoint-dir) runs the
 // process as a read-only replica — sessions bootstrap from the primary's
 // snapshots, stay current by streaming its WAL, serve every read path,
@@ -67,6 +75,9 @@ func main() {
 		walSync         = flag.String("wal-sync", "interval", "write-ahead-log durability: always (fsync per op), interval (fsync on a timer), none")
 		walSyncEvery    = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence under -wal-sync=interval")
 		maxTotalBytes   = flag.Int64("max-total-bytes", 0, "server-wide memory budget; allocating requests are shed with 429 while the pool is over it (0 = unlimited)")
+		spillDir        = flag.String("spill-dir", "", "directory for per-session level spill files; empty defaults to <checkpoint-dir>/spill when -checkpoint-dir is set, or disables memory tiering")
+		idleSpill       = flag.Duration("session-idle-spill", 0, "tier sessions idle for this long down to their spill files (0 disables; requires a spill dir)")
+		maxResident     = flag.Int64("max-resident-bytes", 0, "heap-resident node-store cap; coldest sessions are spilled to disk instead of shedding requests (0 = unlimited; requires a spill dir)")
 		sessionMaxNodes = flag.Uint64("session-max-nodes", 0, "per-session live-node budget cap; over-budget builds abort with 413 (0 = unlimited)")
 		sessionMaxBytes = flag.Uint64("session-max-bytes", 0, "per-session memory budget cap in bytes (0 = unlimited)")
 		maxFuncBytes    = flag.Int64("max-func-bytes", 0, "byte pool for published function artifacts; over-pool publishes get 413 (0 = unlimited)")
@@ -91,6 +102,15 @@ func main() {
 	if *followURL != "" && *checkpointDir == "" {
 		log.Fatal("bfbdd-serve: -follow requires -checkpoint-dir (the replica's durable state lives there)")
 	}
+	// Memory tiering defaults on alongside persistence: spill files are
+	// scratch state living next to the checkpoints unless pointed
+	// elsewhere (e.g. faster local disk) with -spill-dir.
+	if *spillDir == "" && *checkpointDir != "" {
+		*spillDir = *checkpointDir + "/spill"
+	}
+	if *spillDir == "" && (*idleSpill > 0 || *maxResident > 0) {
+		log.Fatal("bfbdd-serve: -session-idle-spill and -max-resident-bytes require a spill dir (-spill-dir or -checkpoint-dir)")
+	}
 
 	srv := server.New(server.Config{
 		MaxSessions:         *maxSessions,
@@ -105,6 +125,9 @@ func main() {
 		WALSync:             *walSync,
 		WALSyncInterval:     *walSyncEvery,
 		MaxTotalBytes:       *maxTotalBytes,
+		SpillDir:            *spillDir,
+		SessionIdleSpill:    *idleSpill,
+		MaxResidentBytes:    *maxResident,
 		SessionMaxNodes:     *sessionMaxNodes,
 		SessionMaxBytes:     *sessionMaxBytes,
 		MaxFuncBytes:        *maxFuncBytes,

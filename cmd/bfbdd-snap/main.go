@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"bfbdd"
+	"bfbdd/internal/node"
 	"bfbdd/internal/snapshot"
 )
 
@@ -117,10 +118,20 @@ func runInfo(args []string) error {
 
 	fmt.Printf("levels (stream order, deepest first):\n")
 	fmt.Printf("  %8s %12s %12s %8s\n", "level", "nodes", "bytes", "b/node")
+	var residentEst uint64
 	for _, li := range info.Levels {
 		fmt.Printf("  %8d %12d %12d %8.2f\n",
 			li.Level, li.Count, li.Bytes, float64(li.Bytes)/float64(li.Count))
+		// Arena blocks are the spill/resident granule: a restored level
+		// occupies whole blocks of BlockSize nodes.
+		blocks := (li.Count + node.BlockSize - 1) / node.BlockSize
+		residentEst += uint64(blocks) * node.BlockSize * node.NodeBytes
 	}
+	fmt.Printf("estimated memory (restored, fully resident):\n")
+	fmt.Printf("  node store:  %d bytes (%d-node arena blocks, %d b/node)\n",
+		residentEst, node.BlockSize, node.NodeBytes)
+	fmt.Printf("  spillable:   %d bytes across %d levels (resident floor ~0 when fully tiered)\n",
+		residentEst, len(info.Levels))
 	if len(info.Roots) > 0 {
 		fmt.Printf("root table:\n")
 		for _, rt := range info.Roots {

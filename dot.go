@@ -28,6 +28,7 @@ func WriteDOT(w io.Writer, names []string, bdds ...*BDD) error {
 			return fmt.Errorf("bfbdd: WriteDOT across managers")
 		}
 	}
+	m.k.EnsureReadable() // the emitter traverses the store directly
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "digraph bdd {")
 	fmt.Fprintln(bw, "  rankdir=TB;")

@@ -71,6 +71,7 @@ func (k *Kernel) applyBatchInto(ops []BinOp, results []node.Ref) {
 	// (see Apply); a stale latch would re-abort this batch at first poll.
 	k.abortErr.Store(nil)
 	defer k.convertAbort()
+	k.ensureReadable()
 	k.budgetGate()
 	for i := range ops {
 		ops[i].F = pins[2*i].Ref()

@@ -119,6 +119,7 @@ type budgetState struct {
 	forcedGCs      atomic.Uint64
 	thresholdDrops atomic.Uint64
 	cacheShrinks   atomic.Uint64
+	spills         atomic.Uint64
 	aborts         atomic.Uint64
 }
 
@@ -154,6 +155,7 @@ type BudgetStats struct {
 	ForcedGCs      uint64
 	ThresholdDrops uint64
 	CacheShrinks   uint64
+	Spills         uint64
 	Aborts         uint64
 }
 
@@ -163,6 +165,7 @@ func (k *Kernel) BudgetStats() BudgetStats {
 		ForcedGCs:      k.budget.forcedGCs.Load(),
 		ThresholdDrops: k.budget.thresholdDrops.Load(),
 		CacheShrinks:   k.budget.cacheShrinks.Load(),
+		Spills:         k.budget.spills.Load(),
 		Aborts:         k.budget.aborts.Load(),
 	}
 }
@@ -184,7 +187,18 @@ func (k *Kernel) approxMem(live uint64) uint64 {
 	for _, w := range k.workers {
 		opB += w.opAllocBytes.Load()
 	}
-	return live*node.NodeBytes + opB + k.overheadBytes.Load()
+	m := live*node.NodeBytes + opB + k.overheadBytes.Load()
+	// Spilled levels live in files and the page cache, not on the heap;
+	// subtract them (clamped: spill files hold whole blocks, so their
+	// byte count can exceed the live-node estimate of those levels).
+	if t := k.tier.Load(); t != nil {
+		if sp := t.SpilledBytes(); sp < m {
+			m -= sp
+		} else if sp > 0 {
+			m = 0
+		}
+	}
+	return m
 }
 
 // checkBudget is the mid-build budget poll, called from pollCancel on
@@ -330,6 +344,16 @@ func (k *Kernel) budgetGate() {
 	}
 	k.degradeThreshold()
 	if kind, over := b.overHard(live, mem); over {
+		// Last rung before the typed abort: a byte overage can still be
+		// relieved by tiering the coldest (deepest) levels to disk — live
+		// nodes keep their identity, only their bytes leave the heap. A
+		// node overage cannot (spilling does not reduce the node count).
+		if kind == "bytes" && k.spillColdest(live, &mem) {
+			if _, still := b.overHard(live, mem); !still {
+				return
+			}
+			kind, _ = b.overHard(live, mem)
+		}
 		b.aborts.Add(1)
 		e := k.newBudgetError(kind, live, mem)
 		k.fillBudgetUsage(e)

@@ -24,6 +24,7 @@ import (
 // store), exactly as for snapshot.Write.
 func (k *Kernel) LevelMajorOrder(roots []node.Ref) ([]node.Ref, error) {
 	k.checkOpen()
+	k.ensureReadable()
 	L := k.opts.Levels
 	perLevel := make([][]node.Ref, L)
 	seen := make(map[node.Ref]struct{})

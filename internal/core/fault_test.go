@@ -143,6 +143,74 @@ func TestInjectedKernelInvariantIsInternalError(t *testing.T) {
 	}
 }
 
+// TestInjectedSpillWriteLeavesResident checks the spill containment
+// contract: a spill-file write failure must surface as a typed error
+// wrapping faultinject.ErrInjected and leave the Manager fully resident
+// and consistent — no level may be half-spilled, no heap block released.
+func TestInjectedSpillWriteLeavesResident(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+
+	k := NewKernel(Options{Levels: 10, Engine: EnginePBF, SpillDir: t.TempDir()})
+	defer k.Close()
+	f := buildDisjunction(k, 10)
+	p := k.Pin(f)
+	defer k.Unpin(p)
+	sig := k.CanonicalSignature([]node.Ref{p.Ref()})
+	resident := k.Store().ResidentBytes()
+	if resident == 0 {
+		t.Fatal("nothing resident to protect")
+	}
+
+	faultinject.Arm(faultinject.SpillWrite, nil)
+	err := k.SpillAll()
+	faultinject.Disarm(faultinject.SpillWrite)
+	if err == nil {
+		t.Fatal("armed SpillAll reported success")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if faultinject.Fired(faultinject.SpillWrite) == 0 {
+		t.Fatal("spill-write point never fired")
+	}
+	if got := k.SpillStats().SpilledBytes; got != 0 {
+		t.Fatalf("spilled bytes after failed spill = %d, want 0", got)
+	}
+	if got := k.Store().ResidentBytes(); got != resident {
+		t.Fatalf("resident bytes after failed spill = %d, want %d", got, resident)
+	}
+	if got := k.CanonicalSignature([]node.Ref{p.Ref()}); !equalSig(sig, got) {
+		t.Fatal("signature changed across failed spill")
+	}
+
+	// Disarmed, the same spill must complete and round-trip.
+	if err := k.SpillAll(); err != nil {
+		t.Fatalf("SpillAll after disarm: %v", err)
+	}
+	if k.SpillStats().SpilledBytes == 0 {
+		t.Fatal("nothing spilled after disarm")
+	}
+	if err := k.Unspill(); err != nil {
+		t.Fatalf("Unspill: %v", err)
+	}
+	if got := k.CanonicalSignature([]node.Ref{p.Ref()}); !equalSig(sig, got) {
+		t.Fatal("signature changed across post-fault spill round trip")
+	}
+}
+
+func equalSig(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestCancelDuringGCStallWidened is the tagged variant of the GC-cancel
 // storm: a stall armed inside the mark phase holds every collection open
 // for a few milliseconds per level, so the countdown expiries that land

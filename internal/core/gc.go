@@ -67,6 +67,10 @@ func markBit(st *node.Store, r node.Ref) {
 // only at top-level-operation boundaries, with all workers quiescent and
 // every live external BDD protected in the root registry.
 func (k *Kernel) GC() {
+	// Collection mutates arenas (compaction replaces them; the free-list
+	// sweep writes Next fields), so every spilled level must come home
+	// first. Quiescent here, so retired mappings can be released too.
+	k.ensureAllResident("GC")
 	t0 := time.Now()
 	// Phase-time snapshot for the gc span of a traced build: the delta
 	// across the collection attributes the three sub-phase times (summed

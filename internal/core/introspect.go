@@ -24,6 +24,7 @@ import (
 // used by the differential oracle (internal/oracle).
 func (k *Kernel) CanonicalSignature(roots []node.Ref) []uint64 {
 	k.checkOpen()
+	k.ensureReadable()
 	code := make(map[node.Ref]uint64)
 	var sig []uint64
 	next := uint64(2)

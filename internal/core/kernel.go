@@ -7,6 +7,7 @@ import (
 
 	"bfbdd/internal/faultinject"
 	"bfbdd/internal/node"
+	"bfbdd/internal/spill"
 	"bfbdd/internal/stats"
 	"bfbdd/internal/trace"
 	"bfbdd/internal/unique"
@@ -107,6 +108,13 @@ type Options struct {
 	// MaxBytes, when non-zero, bounds the kernel's approximate total
 	// memory footprint the same way.
 	MaxBytes uint64
+	// SpillDir, when non-empty, enables memory tiering: quiescent
+	// fully-reduced levels can be spilled to level-major files under this
+	// directory and their heap blocks released (see spill.go and
+	// DESIGN.md §14). The directory is scratch state owned by this
+	// kernel; stale contents are wiped on creation and the whole
+	// directory is removed on Close.
+	SpillDir string
 }
 
 // withDefaults fills in zero-valued options.
@@ -196,6 +204,11 @@ type Kernel struct {
 	// budget is the resource-governance state (see budget.go).
 	budget budgetState
 
+	// tier is the spill backend (nil unless Options.SpillDir is set);
+	// spillMu serializes every resident↔spilled transition. See spill.go.
+	tier    atomic.Pointer[spill.Tier]
+	spillMu sync.Mutex
+
 	mem stats.Memory
 }
 
@@ -217,6 +230,13 @@ func NewKernel(opts Options) *Kernel {
 	}
 	k.effThreshold.Store(int64(opts.EvalThreshold))
 	k.budget.init(opts)
+	if opts.SpillDir != "" {
+		if err := k.EnableSpill(opts.SpillDir); err != nil {
+			// An unusable spill directory costs capacity, not correctness:
+			// the kernel runs fully resident.
+			k.tier.Store(nil)
+		}
+	}
 	return k
 }
 
@@ -263,6 +283,7 @@ func (k *Kernel) mkNode(worker, level int, low, high node.Ref) node.Ref {
 	if low == high {
 		return low
 	}
+	k.pinLevel(level) // FindOrAdd allocates and rewrites Next chains
 	t := &k.tables[level]
 	if k.opts.Locking {
 		t.Lock()
@@ -325,6 +346,7 @@ func (k *Kernel) Close() {
 		w.curReduce = nil
 		w.ctxs = nil
 	}
+	k.closeSpill()
 	k.store = nil
 	k.tables = nil
 }
@@ -394,7 +416,14 @@ func (k *Kernel) sampleMemory() {
 		tableB += (k.tables[i].Count() / 2) * 8
 	}
 	k.overheadBytes.Store(cacheB + tableB)
-	k.mem.Sample(k.store.Bytes(), opB, cacheB, tableB)
+	// Node bytes are the resident (heap) footprint: spilled levels live
+	// in files and the page cache, not on this kernel's heap.
+	k.mem.Sample(k.store.ResidentBytes(), opB, cacheB, tableB)
+	// sampleMemory runs only at quiescent boundaries, which is exactly
+	// when mappings retired by mid-build unspills become unreferenced.
+	if t := k.tier.Load(); t != nil {
+		t.ReleaseRetired()
+	}
 }
 
 // maybeGC runs a collection if thresholds are exceeded and collection is
@@ -445,6 +474,7 @@ func (k *Kernel) Apply(op Op, f, g node.Ref) node.Ref {
 	// would re-abort it with the stale error.
 	k.abortErr.Store(nil)
 	defer k.convertAbort()
+	k.ensureReadable()
 	k.budgetGate()
 	f, g = pf.ref, pg.ref
 	var r node.Ref

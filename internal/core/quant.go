@@ -11,6 +11,7 @@ import (
 // variables of cube, which must be a positive cube (a conjunction of
 // variables, as built by CubeRef).
 func (k *Kernel) Exists(f, cube node.Ref) node.Ref {
+	k.ensureReadable()
 	k.InhibitGC()
 	defer k.ReleaseGC()
 	return k.workers[0].quantRec(opExists, f, cube)
@@ -18,6 +19,7 @@ func (k *Kernel) Exists(f, cube node.Ref) node.Ref {
 
 // Forall computes ∀ cube . f: universal quantification.
 func (k *Kernel) Forall(f, cube node.Ref) node.Ref {
+	k.ensureReadable()
 	k.InhibitGC()
 	defer k.ReleaseGC()
 	return k.workers[0].quantRec(opForall, f, cube)
@@ -87,6 +89,7 @@ func (w *worker) quantRec(op Op, f, cube node.Ref) node.Ref {
 
 // Restrict computes f with the variable at level fixed to value.
 func (k *Kernel) Restrict(f node.Ref, level int, value bool) node.Ref {
+	k.ensureReadable()
 	var lit node.Ref
 	if value {
 		lit = k.MkNode(level, node.Zero, node.One)
@@ -136,6 +139,7 @@ func (k *Kernel) ITE(f, g, h node.Ref) node.Ref {
 
 // Compose substitutes the function g for the variable at level in f.
 func (k *Kernel) Compose(f node.Ref, level int, g node.Ref) node.Ref {
+	k.ensureReadable()
 	k.InhibitGC()
 	defer k.ReleaseGC()
 	memo := make(map[node.Ref]node.Ref)
@@ -169,6 +173,7 @@ func (k *Kernel) composeRec(f node.Ref, level int, g node.Ref, memo map[node.Ref
 // SatCount returns the exact number of satisfying assignments of f over
 // all of the kernel's variables.
 func (k *Kernel) SatCount(f node.Ref) *big.Int {
+	k.ensureReadable()
 	memo := make(map[node.Ref]*big.Int)
 	c := k.satCountRec(f, memo)
 	// Variables with higher precedence than f's top variable are free.
@@ -206,6 +211,7 @@ func (k *Kernel) satCountRec(f node.Ref, memo map[node.Ref]*big.Int) *big.Int {
 // AnySat returns one satisfying assignment of f as a slice indexed by
 // level: 0, 1, or -1 (don't care). ok is false when f is unsatisfiable.
 func (k *Kernel) AnySat(f node.Ref) (assignment []int8, ok bool) {
+	k.ensureReadable()
 	if f.IsZero() {
 		return nil, false
 	}
@@ -230,6 +236,7 @@ func (k *Kernel) AnySat(f node.Ref) (assignment []int8, ok bool) {
 
 // Eval evaluates f under a complete assignment indexed by level.
 func (k *Kernel) Eval(f node.Ref, assignment []bool) bool {
+	k.ensureReadable()
 	for !f.IsTerminal() {
 		nd := k.store.Node(f)
 		if assignment[f.Level()] {
@@ -247,6 +254,7 @@ func (k *Kernel) Size(f node.Ref) int { return k.SizeMulti([]node.Ref{f}) }
 // SizeMulti returns the number of distinct internal nodes reachable from
 // any of the given roots (shared nodes counted once).
 func (k *Kernel) SizeMulti(roots []node.Ref) int {
+	k.ensureReadable()
 	seen := make(map[node.Ref]bool)
 	var stack []node.Ref
 	for _, r := range roots {
@@ -273,6 +281,7 @@ func (k *Kernel) SizeMulti(roots []node.Ref) int {
 
 // Support returns the sorted levels of the variables occurring in f.
 func (k *Kernel) Support(f node.Ref) []int {
+	k.ensureReadable()
 	present := make(map[int]bool)
 	seen := make(map[node.Ref]bool)
 	var stack []node.Ref

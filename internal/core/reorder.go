@@ -38,6 +38,9 @@ func (k *Kernel) ReorderLevels(levelMap []int) {
 	if identity {
 		return
 	}
+	// The rebuild traverses every pinned node and the final GC replaces
+	// arenas; run fully resident.
+	k.ensureAllResident("ReorderLevels")
 
 	k.InhibitGC()
 	// Snapshot the pins; Apply (used by the rebuild) takes pinsMu for its

@@ -402,6 +402,11 @@ func (w *worker) reduceAll(rq [][]opRef) {
 		if len(q) == 0 {
 			continue
 		}
+		// This pass allocates at lvl: bring it home if spilled, and warm
+		// the next levels of the sweep (two atomic loads when no tier or
+		// nothing spilled).
+		k.pinLevel(lvl)
+		k.prefetchAhead(lvl)
 		var lvlStart time.Time
 		lvlOps := len(q)
 		if btr != nil {

@@ -26,6 +26,9 @@
 //	ReplShip          server: replication WAL shipping (fires truncate the
 //	                          batch body mid-frame, simulating a connection
 //	                          severed while frames were in flight)
+//	SpillWrite        spill:  level spill-file write (tier-down path); a
+//	                          fired point must leave the Manager fully
+//	                          resident and consistent
 //
 // Error-injecting points (everything except the stalls) return a typed
 // *Error wrapping ErrInjected; engine call sites panic it into the
@@ -59,6 +62,7 @@ const (
 	WALRotate
 	WALTruncate
 	ReplShip
+	SpillWrite
 	NumPoints
 )
 
@@ -78,6 +82,7 @@ var pointNames = [NumPoints]string{
 	"wal-rotate",
 	"wal-truncate",
 	"repl-ship",
+	"spill-write",
 }
 
 func (p Point) String() string {

@@ -59,6 +59,14 @@ type Arena struct {
 
 	// nFree counts slots currently on the free list.
 	nFree uint64
+
+	// mapped is set while the arena's blocks alias a read-only file
+	// mapping installed by the spill tier. A mapped arena serves reads
+	// (At/Low/High traversal) exactly like a heap arena, but allocation
+	// and free-list writes are forbidden until the tier swaps heap blocks
+	// back in. Read by any goroutine (resident-byte accounting, alloc
+	// guards), written only under the tier's spill serialization.
+	mapped atomic.Bool
 }
 
 // Len returns the number of slots ever allocated (including freed slots
@@ -76,9 +84,53 @@ func (a *Arena) loadBlocks() [][]Node {
 	return nil
 }
 
-// Bytes returns the memory footprint of the arena's node storage.
+// Bytes returns the memory footprint of the arena's node storage,
+// whether the blocks are heap-resident or a spill-file mapping.
 func (a *Arena) Bytes() uint64 {
 	return uint64(len(a.loadBlocks())) * BlockSize * NodeBytes
+}
+
+// Mapped reports whether the arena's blocks currently alias a read-only
+// spill-file mapping rather than heap memory.
+func (a *Arena) Mapped() bool { return a.mapped.Load() }
+
+// ResidentBytes returns the heap footprint of the arena's node storage:
+// zero while the blocks alias a spill mapping (those bytes are the OS
+// page cache's to keep or drop), Bytes() otherwise.
+func (a *Arena) ResidentBytes() uint64 {
+	if a.mapped.Load() {
+		return 0
+	}
+	return a.Bytes()
+}
+
+// ExportBlocks hands the spill tier the arena's current block table and
+// allocator state. The returned slice is the live table — callers must
+// treat it as read-only. Only valid at a quiescent boundary (no build in
+// flight) under the tier's serialization.
+func (a *Arena) ExportBlocks() (blocks [][]Node, n, free, nFree uint64) {
+	return a.loadBlocks(), a.n, a.free, a.nFree
+}
+
+// AdoptBlocks installs a replacement block table — either a read-only
+// spill mapping (mapped=true) or heap blocks copied back from a spill
+// file (mapped=false) — while preserving the allocator state captured by
+// ExportBlocks. The table is swapped atomically, so concurrent readers
+// that loaded the old table keep resolving refs through it; both tables
+// hold identical node payloads, which is what makes the swap safe
+// mid-traversal. Marks are dropped: GC always re-prepares them, and a
+// mapped arena must never be collected anyway.
+func (a *Arena) AdoptBlocks(blocks [][]Node, n, free, nFree uint64, mapped bool) {
+	if len(blocks) == 0 {
+		a.blocks.Store(nil)
+	} else {
+		a.blocks.Store(&blocks)
+	}
+	a.n = n
+	a.free = free
+	a.nFree = nFree
+	a.marks = nil
+	a.mapped.Store(mapped)
 }
 
 // At returns the node at index i. It panics (via slice bounds) if i was
@@ -91,6 +143,9 @@ func (a *Arena) At(i uint64) *Node {
 // returns its index. If the free-list has entries they are reused first.
 // Only the owning worker may call Alloc.
 func (a *Arena) Alloc(low, high Ref) uint64 {
+	if a.mapped.Load() {
+		panic("node: allocation into mapped (spilled) arena")
+	}
 	if a.free != 0 {
 		i := a.free - 1
 		nd := a.At(i)
@@ -120,6 +175,9 @@ func (a *Arena) Alloc(low, high Ref) uint64 {
 // slot's fields are overwritten; callers must have already unlinked the
 // node from its unique table.
 func (a *Arena) Free(i uint64) {
+	if a.mapped.Load() {
+		panic("node: free into mapped (spilled) arena")
+	}
 	nd := a.At(i)
 	nd.Low, nd.High = Nil, Nil
 	nd.Next = Ref(a.free)
@@ -142,6 +200,7 @@ func (a *Arena) ReleaseBlocks() {
 	a.free = 0
 	a.nFree = 0
 	a.marks = nil
+	a.mapped.Store(false)
 }
 
 // ReplaceWith moves b's storage into a (and resets b), used by the
@@ -153,6 +212,7 @@ func (a *Arena) ReplaceWith(b *Arena) {
 	a.free = b.free
 	a.nFree = b.nFree
 	a.marks = b.marks
+	a.mapped.Store(b.mapped.Load())
 	b.ReleaseBlocks()
 }
 

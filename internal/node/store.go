@@ -129,6 +129,31 @@ func (s *Store) Bytes() uint64 {
 	return total
 }
 
+// ResidentBytes returns the heap node-storage footprint across all
+// arenas, excluding levels whose blocks currently alias a read-only
+// spill mapping.
+func (s *Store) ResidentBytes() uint64 {
+	var total uint64
+	for w := range s.arenas {
+		for l := range s.arenas[w] {
+			total += s.arenas[w][l].ResidentBytes()
+		}
+	}
+	return total
+}
+
+// LevelBytes returns the node-storage footprint of one variable level
+// summed across workers, and whether any of its arenas are mapped to a
+// spill file. All workers' arenas at a level spill together, so mapped
+// is uniform across the level in practice.
+func (s *Store) LevelBytes(level int) (bytes uint64, mapped bool) {
+	for w := 0; w < s.workers; w++ {
+		bytes += s.arenas[w][level].Bytes()
+		mapped = mapped || s.arenas[w][level].Mapped()
+	}
+	return bytes, mapped
+}
+
 // NumNodes returns the total count of live nodes across all arenas.
 func (s *Store) NumNodes() uint64 {
 	var total uint64

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -126,6 +128,10 @@ func Run(seq Sequence, engines []EngineSpec) (rep Report) {
 	for v := 0; v < seq.Vars; v++ {
 		truths = append(truths, TruthVar(seq.Vars, v))
 	}
+	// Every engine gets a scratch spill tier so KSpill ops exercise the
+	// memory-tiering path; if the temp dir can't be made the managers run
+	// resident and KSpill degrades to a (passing) no-op round trip.
+	spillRoot, rootErr := os.MkdirTemp("", "bfbdd-oracle-spill-*")
 	defer func() {
 		if rec := recover(); rec != nil {
 			rep.Div = &Divergence{OpIndex: rep.Executed, Engine: "run",
@@ -134,9 +140,19 @@ func Run(seq Sequence, engines []EngineSpec) (rep Report) {
 		for _, st := range engs {
 			closeQuiet(st)
 		}
+		if rootErr == nil {
+			os.RemoveAll(spillRoot)
+		}
 	}()
 	for i, spec := range engines {
-		m := bfbdd.New(seq.Vars, spec.Opts...)
+		opts := spec.Opts
+		if rootErr == nil {
+			// Not folded into spec.Opts: snapshot restore reuses those for a
+			// second live manager, which must not share (and wipe) the dir.
+			opts = append(append([]bfbdd.Option{}, spec.Opts...),
+				bfbdd.WithSpillDir(filepath.Join(spillRoot, spec.Name)))
+		}
+		m := bfbdd.New(seq.Vars, opts...)
 		st := &engState{spec: spec, m: m}
 		st.slots = append(st.slots, m.Zero(), m.One())
 		for v := 0; v < seq.Vars; v++ {
@@ -262,6 +278,8 @@ func (ex *executor) step(i int, r OpRec) *Divergence {
 		return ex.execAbort(i, r)
 	case KCompile:
 		return ex.execCompile(i, r)
+	case KSpill:
+		return ex.execSpill(i, r)
 	}
 	return &Divergence{i, "run", "grammar", fmt.Sprintf("unknown op kind %d", int(r.Kind))}
 }
@@ -603,6 +621,34 @@ func snapshotRoundTrip(i int, st *engState) *Divergence {
 			fmt.Sprintf("re-snapshot not byte-identical (%d vs %d bytes)", buf.Len(), buf2.Len())}
 	}
 	return nil
+}
+
+// execSpill round-trips every engine through the memory tier: spill
+// every level to disk, verify slot A's canonical structure is unchanged
+// while the store is spilled (mmap platforms read through the mapping;
+// others unspill transparently), bring everything back, verify again,
+// then cross-check the slot across engines. Engines without a tier (the
+// temp dir failed) pass trivially — SpillAll is an inert no-op there.
+func (ex *executor) execSpill(i int, r OpRec) *Divergence {
+	a := ex.slot(r.A)
+	for _, st := range ex.engs {
+		before := st.sig(a)
+		if err := st.m.SpillAll(); err != nil {
+			return &Divergence{i, st.spec.Name, "spill", "spill: " + err.Error()}
+		}
+		if got := st.sig(a); !equalU64(got, before) {
+			return &Divergence{i, st.spec.Name, "spill",
+				fmt.Sprintf("slot %d structure changed while spilled", a)}
+		}
+		if err := st.m.Unspill(); err != nil {
+			return &Divergence{i, st.spec.Name, "spill", "unspill: " + err.Error()}
+		}
+		if got := st.sig(a); !equalU64(got, before) {
+			return &Divergence{i, st.spec.Name, "spill",
+				fmt.Sprintf("slot %d structure changed after unspill", a)}
+		}
+	}
+	return ex.checkSlot(i, a, r.Seed)
 }
 
 // execAbort probes abort recovery: a pre-canceled context must refuse

@@ -140,6 +140,34 @@ func TestCompileOp(t *testing.T) {
 	}
 }
 
+// TestSpillOp pins a sequence with explicit spill ops so the memory-tier
+// round trip (spill → sig unchanged → unspill → sig unchanged, cross-
+// engine) runs even when generated sequences happen not to draw one, and
+// interleaves it with the ops most likely to trip tiering bugs: builds
+// over a spilled store, GC, and reordering right after a round trip.
+func TestSpillOp(t *testing.T) {
+	seq := oracle.Sequence{
+		Vars: 6,
+		Ops: []oracle.OpRec{
+			{Kind: oracle.KApply, Op: oracle.OpAnd, A: 2, B: 3, Seed: 201},
+			{Kind: oracle.KApply, Op: oracle.OpXor, A: 4, B: 5, Seed: 202},
+			{Kind: oracle.KApply, Op: oracle.OpOr, A: 8, B: 9, Seed: 203},
+			{Kind: oracle.KSpill, A: 10, Seed: 204},
+			{Kind: oracle.KApply, Op: oracle.OpImp, A: 10, B: 6, Seed: 205},
+			{Kind: oracle.KSpill, A: 11, Seed: 206},
+			{Kind: oracle.KGC, A: 10, Seed: 207},
+			{Kind: oracle.KSpill, A: 8, Seed: 208},
+			{Kind: oracle.KReorder, A: 10, Seed: 209},
+			{Kind: oracle.KSpill, A: 11, Seed: 210},
+			{Kind: oracle.KSnapshot, Seed: 211},
+		},
+	}
+	rep := oracle.Run(seq, oracle.DefaultEngines())
+	if rep.Div != nil {
+		t.Fatalf("%s\ntrace:\n%s", rep.Div, rep.Seq)
+	}
+}
+
 // TestRunVerdictDeterministic re-runs the same sequence and requires the
 // identical verdict string, the property replay verification rests on.
 func TestRunVerdictDeterministic(t *testing.T) {

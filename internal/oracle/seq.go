@@ -79,13 +79,18 @@ const (
 	// the serialized artifact to be byte-identical across engines, and
 	// round-trip it through the hostile-hardened loader. Checking.
 	KCompile
+	// KSpill: tier every level down to the spill store on every engine,
+	// verify slot A's canonical structure is unchanged while spilled,
+	// unspill, and re-verify — the memory tier must be invisible to the
+	// function semantics. Checking.
+	KSpill
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"apply", "not", "restrict", "exists", "forall", "circuit",
 	"meta", "eval", "anysat", "satcount", "gc", "reorder", "snapshot", "abort",
-	"compile",
+	"compile", "spill",
 }
 
 // String returns the kind mnemonic.
@@ -147,6 +152,8 @@ func (r OpRec) String() string {
 		return fmt.Sprintf("abort %s s%d s%d", r.Op, r.A, r.B)
 	case KCompile:
 		return fmt.Sprintf("compile seed%d", r.Seed)
+	case KSpill:
+		return fmt.Sprintf("spill s%d", r.A)
 	}
 	return r.Kind.String()
 }
@@ -251,6 +258,9 @@ func Generate(cfg Config) Sequence {
 			r.Kind = KSnapshot
 		case p < 98:
 			r.Kind = KCompile
+		case p < 99:
+			r.Kind = KSpill
+			r.A = rng.Intn(slots)
 		default:
 			r.Kind = KAbort
 			r.Op = core.Op(rng.Intn(numBinOps))

@@ -89,7 +89,7 @@ func (sh *shrinker) normalize(seq Sequence) Sequence {
 		case KApply, KAbort:
 			r.A, r.B = r.A%slots, r.B%slots
 			r.Var, r.Val, r.VarsMask = 0, false, 0
-		case KNot, KEval, KAnySat, KSatCount, KGC, KReorder:
+		case KNot, KEval, KAnySat, KSatCount, KGC, KReorder, KSpill:
 			r.A %= slots
 			r.Op, r.B, r.Var, r.Val, r.VarsMask = 0, 0, 0, false, 0
 		case KRestrict:
@@ -139,7 +139,7 @@ func (sh *shrinker) shrinkVars(seq Sequence) Sequence {
 var kindIdents = [numKinds]string{
 	"KApply", "KNot", "KRestrict", "KExists", "KForall", "KCircuit",
 	"KMeta", "KEval", "KAnySat", "KSatCount", "KGC", "KReorder", "KSnapshot", "KAbort",
-	"KCompile",
+	"KCompile", "KSpill",
 }
 
 var opIdents = [numBinOps]string{

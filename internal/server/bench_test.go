@@ -65,12 +65,20 @@ func BenchmarkServerApply(b *testing.B) {
 			return cfg
 		}
 	}
+	// default/spill=on runs with memory tiering configured but never
+	// triggered (no idle threshold, no resident cap): the cost of the
+	// tiering hooks on the hot apply path, which must stay within noise
+	// of default/wal=off.
+	spillCfg := func(b *testing.B) Config {
+		return Config{CoalesceWindow: 0, SpillDir: b.TempDir()}
+	}
 	variants := []struct {
 		name string
 		cfg  func(b *testing.B) Config
 	}{
 		{"default/wal=off", mk(0, "")},
 		{"default/wal=interval", mk(0, "interval")},
+		{"default/spill=on", spillCfg},
 		{"raw/wal=off", mk(time.Nanosecond, "")},
 		{"raw/wal=interval", mk(time.Nanosecond, "interval")},
 		{"raw/wal=always", mk(time.Nanosecond, "always")},

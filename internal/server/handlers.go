@@ -239,7 +239,9 @@ func journalAppliesT(sess *session, t *trace.Trace, parent trace.SpanID, recs []
 
 // poolBytes sums the engine memory footprint of every live session from
 // the lock-free stats snapshots (a scrape-safe approximation: snapshots
-// refresh after each executor task).
+// refresh after each executor task). With memory tiering on, the engine
+// samples count only heap-resident store bytes, so a spilled session
+// contributes its caches and tables but not its on-disk levels.
 func (s *Server) poolBytes() uint64 {
 	var total uint64
 	for _, sess := range s.reg.list() {
@@ -250,12 +252,29 @@ func (s *Server) poolBytes() uint64 {
 	return total
 }
 
-// shed is the global memory-pressure valve for allocating routes: when
-// the pool's live bytes exceed Config.MaxTotalBytes the request is
-// answered 429 with a Retry-After hint instead of being admitted to grow
-// the pool further. Reads, frees, GC, and deletes always pass — they are
-// how a client relieves the pressure.
-func (s *Server) shed(w http.ResponseWriter) bool {
+// poolSpill sums the node-store tiering split across live sessions:
+// resident is heap bytes held by node arenas, spilled is bytes parked in
+// level spill files. resident+spilled is the pool's total node footprint
+// regardless of where it lives.
+func (s *Server) poolSpill() (resident, spilled uint64) {
+	for _, sess := range s.reg.list() {
+		if st := sess.stats(); st != nil {
+			resident += st.ResidentBytes
+			spilled += st.SpilledBytes
+		}
+	}
+	return resident, spilled
+}
+
+// shed is the global memory-pressure valve for allocating routes. With
+// memory tiering configured, pressure is first relieved by spilling the
+// coldest sessions to disk (MaxResidentBytes); only if the pool's
+// heap bytes still exceed Config.MaxTotalBytes is the request answered
+// 429 with a Retry-After hint instead of being admitted to grow the pool
+// further. Reads, frees, GC, and deletes always pass — they are how a
+// client relieves the pressure.
+func (s *Server) shed(w http.ResponseWriter, r *http.Request) bool {
+	s.enforceResidentCap(r.Context())
 	if s.cfg.MaxTotalBytes <= 0 {
 		return false
 	}
@@ -293,7 +312,7 @@ func (s *Server) info(sess *session) sessionInfo {
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
-	if s.refuseWrites(w) || s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w, r) {
 		return
 	}
 	var req SessionOptions
@@ -324,10 +343,24 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"info":  s.info(sess),
 		"stats": statsJSON(sess.stats()),
-	})
+	}
+	// The per-level memory report needs the manager quiescent, so it runs
+	// on the executor; a poisoned session skips it (its engine state is
+	// untrusted) and a busy or broken executor just omits the key rather
+	// than failing an otherwise-cheap info read.
+	if !sess.isPoisoned() {
+		var mem bfbdd.MemReport
+		if err := sess.exec.submit(r.Context(), func(context.Context) error {
+			mem = sess.mgr.MemReport()
+			return nil
+		}); err == nil {
+			out["mem"] = mem
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
@@ -357,7 +390,7 @@ type handleResp struct {
 }
 
 func (s *Server) handleVar(w http.ResponseWriter, r *http.Request) {
-	if s.refuseWrites(w) || s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w, r) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -401,7 +434,7 @@ func (s *Server) handleVar(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleConst(w http.ResponseWriter, r *http.Request) {
-	if s.refuseWrites(w) || s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w, r) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -442,7 +475,7 @@ func (s *Server) handleConst(w http.ResponseWriter, r *http.Request) {
 // handleApply is the coalesced binary-apply endpoint: concurrent applies
 // landing within the coalescing window ride one engine batch.
 func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
-	if s.refuseWrites(w) || s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w, r) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -476,7 +509,7 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 // engine unit (the client-side variant of what the coalescer does
 // implicitly).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if s.refuseWrites(w) || s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w, r) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -603,7 +636,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleITE(w http.ResponseWriter, r *http.Request) {
-	if s.refuseWrites(w) || s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w, r) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -651,7 +684,7 @@ func (s *Server) handleITE(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNot(w http.ResponseWriter, r *http.Request) {
-	if s.refuseWrites(w) || s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w, r) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -689,7 +722,7 @@ func (s *Server) handleNot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
-	if s.refuseWrites(w) || s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w, r) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -738,7 +771,7 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRestrict(w http.ResponseWriter, r *http.Request) {
-	if s.refuseWrites(w) || s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w, r) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -778,7 +811,7 @@ func (s *Server) handleRestrict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
-	if s.refuseWrites(w) || s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w, r) {
 		return
 	}
 	sess, err := s.sessionOf(r)
@@ -1006,11 +1039,22 @@ func statsJSON(st *sessionStats) map[string]any {
 		"handles":           st.Handles,
 		"mem_bytes":         st.MemBytes,
 		"eval_threshold":    st.EffEvalThreshold,
+		"resident_bytes":    st.ResidentBytes,
+		"spilled_bytes":     st.SpilledBytes,
+		"spilled_levels":    st.SpilledLevels,
+		"spill": map[string]any{
+			"ops":             st.SpillOps,
+			"unspill_ops":     st.UnspillOps,
+			"seconds":         st.SpillTime.Seconds(),
+			"unspill_seconds": st.UnspillTime.Seconds(),
+			"prefetch_hits":   st.SpillPrefetchHits,
+		},
 		"budget": map[string]uint64{
 			"forced_gcs":      st.BudgetForcedGCs,
 			"threshold_drops": st.BudgetThresholdDrops,
 			"cache_shrinks":   st.BudgetCacheShrinks,
 			"aborts":          st.BudgetAborts,
+			"spills":          st.BudgetSpills,
 		},
 	}
 }
@@ -1096,7 +1140,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // workers, gc_policy), and ?session= asks for a specific session id —
 // refused with 409 if that id is live or still being torn down.
 func (s *Server) handleRestoreSession(w http.ResponseWriter, r *http.Request) {
-	if s.refuseWrites(w) || s.shed(w) {
+	if s.refuseWrites(w) || s.shed(w, r) {
 		return
 	}
 	q := r.URL.Query()

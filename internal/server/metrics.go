@@ -64,6 +64,7 @@ type metrics struct {
 	checkpointRetries  atomic.Uint64
 	coalescedBatches   atomic.Uint64
 	coalescedOps       atomic.Uint64
+	sessionsSpilled    atomic.Uint64
 	inflight           atomic.Int64
 	rejectedInflight   atomic.Uint64
 	rejectedOverBudget atomic.Uint64
@@ -194,6 +195,9 @@ func (s *Server) metricsHandler() http.Handler {
 		gauge("bfbdd_sessions_open", "Currently open sessions.", int64(s.reg.count()))
 		gauge("bfbdd_sessions_poisoned", "Currently open sessions refusing work after an internal engine fault.", poisonedNow)
 		gauge("bfbdd_pool_live_bytes", "Engine memory footprint summed over all live sessions.", int64(s.poolBytes()))
+		resident, spilled := s.poolSpill()
+		gauge("bfbdd_pool_resident_bytes", "Heap-resident node-store bytes summed over all live sessions.", int64(resident))
+		gauge("bfbdd_pool_spilled_bytes", "Node-store bytes parked in level spill files, summed over all live sessions.", int64(spilled))
 		counter("bfbdd_sessions_created_total", "Sessions created since start.", m.sessionsCreated.Load())
 		counter("bfbdd_sessions_expired_total", "Sessions closed by idle expiry.", m.sessionsExpired.Load())
 		counter("bfbdd_sessions_recovered_total", "Sessions rebuilt from checkpoints at startup.", m.sessionsRecovered.Load())
@@ -207,6 +211,8 @@ func (s *Server) metricsHandler() http.Handler {
 		gauge("bfbdd_http_inflight_requests", "Requests currently being served.", m.inflight.Load())
 		counter("bfbdd_http_rejected_total", "Requests rejected by the in-flight admission limit.", m.rejectedInflight.Load())
 		counter("bfbdd_http_rejected_over_budget_total", "Requests shed because the pool exceeded the global memory budget.", m.rejectedOverBudget.Load())
+		counter("bfbdd_sessions_spilled_total", "Session-level spill passes triggered by idle tiering or the resident cap.", m.sessionsSpilled.Load())
+		s.writeSpillTotals(bw)
 
 		gauge("bfbdd_funcs_open", "Currently published compiled-function artifacts.", s.funcs.count.Load())
 		gauge("bfbdd_funcs_bytes", "Resident bytes of published artifacts (their own pool, outside session budgets).", s.funcs.total.Load())
@@ -258,6 +264,37 @@ func (s *Server) metricsHandler() http.Handler {
 		s.writeRouteMetrics(bw)
 		s.writeSessionMetrics(bw)
 	})
+}
+
+// writeSpillTotals exports the memory-tiering activity counters summed
+// over session snapshots. They are derived series — each session's
+// contribution vanishes when it closes — but in aggregate they track the
+// spill subsystem's churn well enough to alert on thrash.
+func (s *Server) writeSpillTotals(bw *bufio.Writer) {
+	var ops, unspills, hits uint64
+	var spillNs, unspillNs int64
+	for _, sess := range s.reg.list() {
+		st := sess.stats()
+		if st == nil {
+			continue
+		}
+		ops += st.SpillOps
+		unspills += st.UnspillOps
+		hits += st.SpillPrefetchHits
+		spillNs += int64(st.SpillTime)
+		unspillNs += int64(st.UnspillTime)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	seconds := func(name, help string, ns int64) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, float64(ns)/1e9)
+	}
+	counter("bfbdd_spill_ops_total", "Level spill writes across live sessions.", ops)
+	counter("bfbdd_unspill_ops_total", "Level unspill reads across live sessions.", unspills)
+	counter("bfbdd_spill_prefetch_hits_total", "Sweep prefetches that found the level already mapped.", hits)
+	seconds("bfbdd_spill_seconds_total", "Wall time writing level spill files across live sessions.", spillNs)
+	seconds("bfbdd_unspill_seconds_total", "Wall time restoring spilled levels across live sessions.", unspillNs)
 }
 
 // writeFuncEvalHistogram exports the eval batch-size histogram.
@@ -374,6 +411,14 @@ func (s *Server) writeSessionMetrics(bw *bufio.Writer) {
 			func(st *sessionStats) string { return fmt.Sprint(st.BudgetCacheShrinks) }},
 		{"bfbdd_session_budget_aborts_total", "Builds aborted with a budget error.", "counter",
 			func(st *sessionStats) string { return fmt.Sprint(st.BudgetAborts) }},
+		{"bfbdd_session_budget_spills_total", "Spill passes forced by the budget's degradation ladder.", "counter",
+			func(st *sessionStats) string { return fmt.Sprint(st.BudgetSpills) }},
+		{"bfbdd_session_resident_bytes", "Heap-resident node-store bytes.", "gauge",
+			func(st *sessionStats) string { return fmt.Sprint(st.ResidentBytes) }},
+		{"bfbdd_session_spilled_bytes", "Node-store bytes parked in level spill files.", "gauge",
+			func(st *sessionStats) string { return fmt.Sprint(st.SpilledBytes) }},
+		{"bfbdd_session_spilled_levels", "Variable levels currently tiered to disk.", "gauge",
+			func(st *sessionStats) string { return fmt.Sprint(st.SpilledLevels) }},
 		{"bfbdd_session_live_nodes", "Current live BDD node count.", "gauge",
 			func(st *sessionStats) string { return fmt.Sprint(st.NumNodes) }},
 		{"bfbdd_session_pins", "Registered external roots (pins).", "gauge",

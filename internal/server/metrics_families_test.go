@@ -114,6 +114,16 @@ func TestMetricsFamiliesComplete(t *testing.T) {
 		{"bfbdd_sessions_expired_total", false},
 		{"bfbdd_sessions_recovered_total", false},
 		{"bfbdd_sessions_poisoned_total", false},
+		// Memory tiering. The workload runs without a spill dir, so the
+		// activity counters exist but stay zero.
+		{"bfbdd_pool_resident_bytes", true},
+		{"bfbdd_pool_spilled_bytes", false},
+		{"bfbdd_sessions_spilled_total", false},
+		{"bfbdd_spill_ops_total", false},
+		{"bfbdd_unspill_ops_total", false},
+		{"bfbdd_spill_prefetch_hits_total", false},
+		{"bfbdd_spill_seconds_total", false},
+		{"bfbdd_unspill_seconds_total", false},
 		// Checkpoints.
 		{"bfbdd_checkpoints_written_total", false},
 		{"bfbdd_checkpoint_errors_total", false},
@@ -185,6 +195,10 @@ func TestMetricsFamiliesComplete(t *testing.T) {
 		{"bfbdd_session_budget_threshold_drops_total", false},
 		{"bfbdd_session_budget_cache_shrinks_total", false},
 		{"bfbdd_session_budget_aborts_total", false},
+		{"bfbdd_session_budget_spills_total", false},
+		{"bfbdd_session_resident_bytes", true},
+		{"bfbdd_session_spilled_bytes", false},
+		{"bfbdd_session_spilled_levels", false},
 		{"bfbdd_session_live_nodes", true},
 		{"bfbdd_session_pins", true},
 		{"bfbdd_session_handles", true},

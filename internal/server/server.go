@@ -25,6 +25,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,8 +75,31 @@ type Config struct {
 	// MaxTotalBytes, when positive, is the server-wide memory budget:
 	// allocating requests (session creation, construction operations) are
 	// shed with 429 + Retry-After while the pool's live engine bytes
-	// exceed it. Frees, GC, queries, and deletes always pass.
+	// exceed it. Frees, GC, queries, and deletes always pass. With
+	// SpillDir set the comparison counts only heap-resident bytes —
+	// spilled levels live on disk and do not press on the budget.
 	MaxTotalBytes int64
+	// SpillDir, when set, enables memory tiering: every session's manager
+	// gets a per-session spill directory under it (bfbdd.WithSpillDir),
+	// so idle or over-budget sessions can have their fully reduced levels
+	// written to level-major spill files and their heap blocks released.
+	// The directory is scratch state scoped to this process: it is wiped
+	// at startup and per-session dirs are removed when sessions close.
+	// bfbdd-serve defaults it to <checkpoint-dir>/spill when persistence
+	// is on.
+	SpillDir string
+	// SessionIdleSpill, when positive (and SpillDir is set), tiers down
+	// sessions idle for this long: the janitor spills their node stores
+	// to disk so a quiet session costs file pages instead of heap. The
+	// next operation transparently unspills what it touches. Should be
+	// shorter than SessionIdleExpiry to be useful.
+	SessionIdleSpill time.Duration
+	// MaxResidentBytes, when positive (and SpillDir is set), caps the
+	// pool's combined heap-resident node bytes: instead of shedding with
+	// 429, allocating requests first spill the coldest sessions
+	// (least-recently used first) until the pool is back under the cap.
+	// The janitor enforces it in the background too.
+	MaxResidentBytes int64
 	// SessionMaxNodes / SessionMaxBytes, when positive, cap every
 	// session's engine budget (bfbdd.WithMaxNodes / WithMaxBytes): a
 	// client-requested budget is clamped to them, and a session created
@@ -246,6 +270,19 @@ type Server struct {
 // New returns, so the returned server already holds them.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.SpillDir != "" {
+		// Spill files are same-process scratch (checkpoints and WALs are
+		// the durable state), so stale dirs from a previous process are
+		// garbage: wipe and recreate. An unusable dir disables tiering but
+		// never fails startup — spilling is capacity, not correctness.
+		if err := os.RemoveAll(cfg.SpillDir); err != nil {
+			log.Printf("server: cannot clear spill dir %s: %v", cfg.SpillDir, err)
+		}
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			log.Printf("server: cannot create spill dir %s: %v (memory tiering disabled)", cfg.SpillDir, err)
+			cfg.SpillDir = ""
+		}
+	}
 	m := newMetrics()
 	s := &Server{
 		cfg:         cfg,
@@ -365,12 +402,19 @@ func (s *Server) CheckpointNow() {
 	}
 }
 
-// janitor expires idle sessions in the background.
+// janitor expires idle sessions in the background; with memory tiering
+// enabled it also spills long-idle sessions to disk and keeps the pool's
+// resident bytes under the configured cap.
 func (s *Server) janitor() {
 	defer close(s.janitorDone)
 	period := s.cfg.SessionIdleExpiry / 4
 	if period < time.Second {
 		period = time.Second
+	}
+	if s.cfg.SessionIdleSpill > 0 {
+		if p := s.cfg.SessionIdleSpill / 4; p < period {
+			period = max(p, 100*time.Millisecond)
+		}
 	}
 	t := time.NewTicker(period)
 	defer t.Stop()
@@ -386,7 +430,76 @@ func (s *Server) janitor() {
 				continue
 			}
 			s.reg.expireIdle(s.cfg.SessionIdleExpiry)
+			s.spillIdle()
+			s.enforceResidentCap(context.Background())
 		}
+	}
+}
+
+// spillIdle tiers down sessions whose idle time exceeds SessionIdleSpill:
+// their node stores move to spill files and the heap blocks are released.
+// The spill runs serialized on each session's executor (enqueue-only, so
+// a busy session — which by definition is not idle — is never blocked),
+// and deliberately does not touch the idle clock.
+func (s *Server) spillIdle() {
+	if s.cfg.SpillDir == "" || s.cfg.SessionIdleSpill <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-s.cfg.SessionIdleSpill)
+	for _, sess := range s.reg.list() {
+		if sess.isPoisoned() || !sess.idleSince().Before(cutoff) {
+			continue
+		}
+		st := sess.stats()
+		if st == nil || st.ResidentBytes == 0 {
+			continue
+		}
+		sess := sess
+		if _, err := sess.exec.start(context.Background(), func(context.Context) error {
+			return sess.mgr.SpillAll()
+		}); err == nil {
+			s.metrics.sessionsSpilled.Add(1)
+		}
+	}
+}
+
+// enforceResidentCap is the resident-byte valve: while the pool's
+// combined heap-resident node bytes exceed MaxResidentBytes, the coldest
+// sessions (least recently used first) are spilled to disk, synchronously
+// through their executors, until the pool fits. The requesting session
+// may itself be spilled if it is the coldest — its next operation
+// unspills on demand. ctx bounds the wait on each session's executor.
+func (s *Server) enforceResidentCap(ctx context.Context) {
+	if s.cfg.SpillDir == "" || s.cfg.MaxResidentBytes <= 0 {
+		return
+	}
+	capacity := uint64(s.cfg.MaxResidentBytes)
+	resident, _ := s.poolSpill()
+	if resident <= capacity {
+		return
+	}
+	sessions := s.reg.list()
+	sort.Slice(sessions, func(i, j int) bool {
+		return sessions[i].lastUsed.Load() < sessions[j].lastUsed.Load()
+	})
+	for _, sess := range sessions {
+		if resident <= capacity {
+			return
+		}
+		if sess.isPoisoned() {
+			continue
+		}
+		st := sess.stats()
+		if st == nil || st.ResidentBytes == 0 {
+			continue
+		}
+		sess := sess
+		if err := sess.exec.submit(ctx, func(context.Context) error {
+			return sess.mgr.SpillAll()
+		}); err == nil {
+			s.metrics.sessionsSpilled.Add(1)
+		}
+		resident, _ = s.poolSpill()
 	}
 }
 

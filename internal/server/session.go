@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"path/filepath"
 	"slices"
 	"strings"
 	"sync"
@@ -533,6 +534,7 @@ func (r *registry) createAt(id string, o SessionOptions, openWAL bool) (*session
 	if err != nil {
 		return nil, err
 	}
+	opts = r.spillOpts(opts, id)
 
 	s := &session{
 		id:            id,
@@ -608,6 +610,17 @@ func (r *registry) reserve(id string) (string, error) {
 	return id, nil
 }
 
+// spillOpts appends the session's per-id spill directory when memory
+// tiering is on: every manager owns <SpillDir>/<id> for its level files,
+// created lazily by the kernel and removed when the manager closes. The
+// id must be reserved first so two sessions can never share a dir.
+func (r *registry) spillOpts(opts []bfbdd.Option, id string) []bfbdd.Option {
+	if r.cfg.SpillDir == "" {
+		return opts
+	}
+	return append(opts, bfbdd.WithSpillDir(filepath.Join(r.cfg.SpillDir, id)))
+}
+
 func (r *registry) release(id string) {
 	r.mu.Lock()
 	delete(r.sessions, id)
@@ -649,7 +662,7 @@ func (r *registry) restore(id string, o SessionOptions, src io.Reader, attach fu
 	if err != nil {
 		return nil, err
 	}
-	mgr, roots, err := bfbdd.RestoreManager(br, opts...)
+	mgr, roots, err := bfbdd.RestoreManager(br, r.spillOpts(opts, id)...)
 	if err != nil {
 		r.release(id)
 		return nil, fmt.Errorf("%w: %v", errBadRequest, err)

@@ -1,0 +1,48 @@
+//go:build linux
+
+package spill
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapEnabled selects the zero-copy read path: spilled levels stay
+// readable through a private read-only mapping of the spill file, and
+// page faults do the fault-in.
+const mmapEnabled = true
+
+// mmapFile maps the whole file read-only and shared (the file is never
+// written after rename, so shared vs. private is equivalent; shared
+// lets the kernel discard clean pages without swap).
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func munmapFile(data []byte) {
+	if data != nil {
+		syscall.Munmap(data)
+	}
+}
+
+// advise issues MADV_WILLNEED for the payload region so the kernel
+// starts readahead before the sweep reaches the level.
+func advise(data []byte, off, n uint64) {
+	if off+n > uint64(len(data)) || n == 0 {
+		return
+	}
+	syscall.Madvise(data[off:off+n], syscall.MADV_WILLNEED)
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package spill
+
+// mmapEnabled selects the portable fallback: spilling a level releases
+// its heap blocks outright, and any read of that level requires an
+// explicit unspill (the kernel's ensure-readable hooks do this).
+const mmapEnabled = false
+
+func mmapFile(path string) ([]byte, error) { return nil, nil }
+
+func munmapFile(data []byte) {}
+
+func advise(data []byte, off, n uint64) {}

@@ -132,6 +132,19 @@ func WithMaxBytes(n uint64) Option {
 	return func(o *core.Options) { o.MaxBytes = n }
 }
 
+// WithSpillDir enables memory tiering: quiescent fully-reduced levels
+// can be spilled to level-major files under dir (and are remapped
+// read-only via mmap where the platform supports it, so reads keep
+// working without the heap copy). The byte-budget degradation ladder
+// gains a "spill coldest levels" rung before a *BudgetError, and
+// SpillAll/Unspill/MemReport become meaningful. dir is scratch state
+// owned by this manager: stale contents are wiped on creation and the
+// directory is removed on Close. An empty dir disables tiering
+// (default).
+func WithSpillDir(dir string) Option {
+	return func(o *core.Options) { o.SpillDir = dir }
+}
+
 // ErrBudgetExceeded is the sentinel wrapped by every *BudgetError.
 // Classify budget aborts with errors.Is(err, ErrBudgetExceeded).
 var ErrBudgetExceeded = core.ErrBudgetExceeded
@@ -500,11 +513,24 @@ type Stats struct {
 	// pressure.
 	EffEvalThreshold int
 	// Budget degradation counters: forced early collections, evaluation
-	// threshold drops, compute-cache shrinks, and typed budget aborts.
+	// threshold drops, compute-cache shrinks, coldest-level spills, and
+	// typed budget aborts.
 	BudgetForcedGCs      uint64
 	BudgetThresholdDrops uint64
 	BudgetCacheShrinks   uint64
+	BudgetSpills         uint64
 	BudgetAborts         uint64
+	// Memory-tiering counters (zero without WithSpillDir). MemBytes above
+	// is the resident footprint: SpilledBytes live in spill files and the
+	// OS page cache, not on the heap.
+	ResidentBytes     uint64
+	SpilledBytes      uint64
+	SpilledLevels     int
+	SpillOps          uint64
+	UnspillOps        uint64
+	SpillTime         time.Duration
+	UnspillTime       time.Duration
+	SpillPrefetchHits uint64
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -517,6 +543,7 @@ func (m *Manager) Stats() Stats {
 	}
 	mem := m.k.Memory()
 	b := m.k.BudgetStats()
+	sp := m.k.SpillStats()
 	return Stats{
 		Ops:           t.Ops,
 		CacheHits:     t.CacheHits,
@@ -540,12 +567,76 @@ func (m *Manager) Stats() Stats {
 		BudgetForcedGCs:      b.ForcedGCs,
 		BudgetThresholdDrops: b.ThresholdDrops,
 		BudgetCacheShrinks:   b.CacheShrinks,
+		BudgetSpills:         b.Spills,
 		BudgetAborts:         b.Aborts,
+
+		ResidentBytes:     m.k.Store().ResidentBytes(),
+		SpilledBytes:      sp.SpilledBytes,
+		SpilledLevels:     sp.SpilledLevels,
+		SpillOps:          sp.SpillOps,
+		UnspillOps:        sp.UnspillOps,
+		SpillTime:         time.Duration(sp.SpillNS),
+		UnspillTime:       time.Duration(sp.UnspillNS),
+		SpillPrefetchHits: sp.PrefetchHits,
 	}
 }
 
 // ResetStats zeroes the counters (memory peak and GC count are kept).
 func (m *Manager) ResetStats() { m.k.ResetStats() }
+
+// MemReport is the manager's memory-tiering breakdown: heap-resident
+// bytes, spilled bytes, and where each variable's nodes live. LevelMem
+// entries are keyed by order position (level); Var gives the public
+// variable index currently at that position.
+type MemReport struct {
+	ResidentBytes uint64     `json:"resident_bytes"`
+	SpilledBytes  uint64     `json:"spilled_bytes"`
+	Levels        []LevelMem `json:"levels"`
+}
+
+// LevelMem describes one level's node storage.
+type LevelMem struct {
+	Level   int    `json:"level"`
+	Var     int    `json:"var"`
+	Nodes   uint64 `json:"nodes"`
+	Bytes   uint64 `json:"bytes"`
+	Spilled bool   `json:"spilled"`
+}
+
+// MemReport returns the tiering breakdown. Without WithSpillDir every
+// level is resident and SpilledBytes is zero. Like all manager calls it
+// must be serialized against in-flight operations.
+func (m *Manager) MemReport() MemReport {
+	m.checkOpen()
+	kr := m.k.MemReport()
+	r := MemReport{ResidentBytes: kr.ResidentBytes, SpilledBytes: kr.SpilledBytes}
+	for _, lm := range kr.Levels {
+		r.Levels = append(r.Levels, LevelMem{
+			Level:   lm.Level,
+			Var:     m.level2var[lm.Level],
+			Nodes:   lm.Nodes,
+			Bytes:   lm.Bytes,
+			Spilled: lm.Spilled,
+		})
+	}
+	return r
+}
+
+// SpillAll tiers the whole node store down to the spill directory,
+// releasing the heap blocks of every level that holds nodes. A no-op
+// without WithSpillDir. The manager must be quiescent (no operation in
+// flight); subsequent operations transparently unspill what they touch.
+func (m *Manager) SpillAll() error {
+	m.checkOpen()
+	return m.k.SpillAll()
+}
+
+// Unspill brings every spilled level back onto the heap and deletes its
+// spill file. A no-op without WithSpillDir or with nothing spilled.
+func (m *Manager) Unspill() error {
+	m.checkOpen()
+	return m.k.Unspill()
+}
 
 // Kernel exposes the internal kernel for the benchmark harness and
 // examples living in this module. External users should ignore it.

@@ -18,6 +18,9 @@ go test -run xxx -bench 'BenchmarkManagerEval|BenchmarkCompiledEvalBatch' \
 echo "== wal benchmarks" >&2
 go test -run xxx -bench 'BenchmarkWALAppend|BenchmarkWALReplay' \
   -benchtime 2000x ./internal/wal/ | tee -a "$TMP" >&2
+echo "== spill benchmarks" >&2
+go test -run xxx -bench 'BenchmarkSpillRoundTrip' \
+  -benchtime 50x ./internal/core/ | tee -a "$TMP" >&2
 echo "== server apply benchmarks" >&2
 # -count 5 with min-of-runs in the parser: a single run of µs-scale
 # HTTP round trips is too noisy to judge a 10% overhead budget.
@@ -85,11 +88,26 @@ if ns("default/wal=off") and ns("default/wal=interval"):
     }
     overhead["ok"] = overhead["interval_overhead_pct"] < overhead["target_pct"]
 
+# Memory-tiering parity: the spill hooks on the hot apply path, with
+# tiering configured but never triggered, must stay within noise of
+# the spill-disabled server. Judged against the same 10% bar as the
+# WAL interval policy (min-of-5 runs already filters scheduler noise).
+spill_parity = None
+if ns("default/wal=off") and ns("default/spill=on"):
+    spill_parity = {
+        "apply_ns_spill_off": ns("default/wal=off"),
+        "apply_ns_spill_on": ns("default/spill=on"),
+        "spill_on_overhead_pct": pct(ns("default/wal=off"), ns("default/spill=on")),
+        "target_pct": 10.0,
+    }
+    spill_parity["ok"] = spill_parity["spill_on_overhead_pct"] < spill_parity["target_pct"]
+
 doc = {
     "generated_by": "scripts/bench-json.sh",
     "environment": meta,
     "benchmarks": bench,
     "wal_overhead": overhead,
+    "spill_parity": spill_parity,
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
@@ -98,5 +116,9 @@ print(f"wrote {out}", file=sys.stderr)
 if overhead and not overhead["ok"]:
     print(f"WAL interval overhead {overhead['interval_overhead_pct']}% "
           f"exceeds the {overhead['target_pct']}% budget", file=sys.stderr)
+    sys.exit(1)
+if spill_parity and not spill_parity["ok"]:
+    print(f"spill-enabled apply overhead {spill_parity['spill_on_overhead_pct']}% "
+          f"exceeds the {spill_parity['target_pct']}% parity budget", file=sys.stderr)
     sys.exit(1)
 EOF

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Crash safety of the memory-tiering spill store: spill files are scratch
+# state, so killing the server dead while sessions are tiered to disk
+# must never lose an acknowledged operation — whether the spill files
+# survive the crash intact, are deleted out from under the restart, or
+# are corrupted in place. Each scenario builds state in a live server
+# under -wal-sync=always, waits for the idle janitor to spill the
+# session, kill -9s the process, manipulates the spill directory, and
+# requires every acknowledged handle to answer with its recorded
+# canonical signature after recovery (which rebuilds from checkpoint +
+# WAL and wipes the stale spill dir). Run from the repo root with
+# ./bfbdd-serve already built (see .github/workflows/ci.yml).
+set -euo pipefail
+
+ADDR=127.0.0.1:8723
+BASE=http://$ADDR
+DIR=$(mktemp -d)
+CKPT=$DIR/ckpt
+SPILL=$CKPT/spill # bfbdd-serve's default spill dir under -checkpoint-dir
+LEDGER=$DIR/ledger
+SERVER_PID=
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+jsonget() { # jsonget '<json>' <key>
+  python3 -c 'import json,sys; print(json.loads(sys.argv[1])[sys.argv[2]])' "$1" "$2"
+}
+
+start_server() {
+  ./bfbdd-serve -addr "$ADDR" -checkpoint-dir "$CKPT" -wal-sync always \
+    -checkpoint-interval 0 -session-idle-spill 200ms &
+  SERVER_PID=$!
+  for _ in $(seq 1 50); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "server did not come up" >&2
+  exit 1
+}
+
+crash_server() {
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=
+}
+
+sig_of() { # sig_of <handle> -> canonical signature
+  jsonget "$(curl -sf "$S/query" -d "{\"kind\":\"signature\",\"f\":$1}")" signature
+}
+
+record() { # record <handle>: append to the acknowledged-ops ledger
+  echo "$1 $(sig_of "$1")" >>"$LEDGER"
+}
+
+check_ledger() {
+  while read -r h want; do
+    got=$(sig_of "$h")
+    [ "$got" = "$want" ] || {
+      echo "handle $h signature drifted after recovery: $got != $want" >&2
+      exit 1
+    }
+  done <"$LEDGER"
+}
+
+build_burst() { # vars + applies, all recorded
+  for i in $(seq 0 11); do
+    V=$(jsonget "$(curl -sf "$S/vars" -d "{\"index\":$i}")" handle)
+    record "$V"
+    W=$(jsonget "$(curl -sf "$S/vars" -d "{\"index\":$(((i + 7) % 12))}")" handle)
+    H=$(jsonget "$(curl -sf "$S/apply" -d "{\"op\":\"or\",\"f\":$V,\"g\":$W}")" handle)
+    record "$H"
+  done
+}
+
+wait_spilled() { # block until the idle janitor has tiered the session down
+  for _ in $(seq 1 100); do
+    SPILLED=$(jsonget "$(curl -sf "$S/stats")" spilled_bytes)
+    [ "$SPILLED" -gt 0 ] && return 0
+    sleep 0.1
+  done
+  echo "session never spilled (spilled_bytes stayed 0)" >&2
+  exit 1
+}
+
+echo "=== setup: build, let the janitor spill the idle session"
+start_server
+CREATE=$(curl -sf "$BASE/v1/sessions" -d '{"vars":12}')
+SID=$(jsonget "$CREATE" session)
+S=$BASE/v1/sessions/$SID
+build_burst
+wait_spilled
+ls "$SPILL/$SID"/level-*.spill >/dev/null || {
+  echo "no level spill files under $SPILL/$SID despite spilled_bytes > 0" >&2
+  exit 1
+}
+echo "ok: session $SID tiered to disk ($SPILLED bytes)"
+
+echo "=== crash 1: spill files present across the crash"
+crash_server
+# A sentinel proves the startup wipe ran: spill files are scratch, so
+# the restart must clear the whole dir (recovery then recreates empty
+# per-session dirs — their existence alone proves nothing).
+touch "$SPILL/sentinel"
+start_server
+[ -e "$SPILL/sentinel" ] && { echo "stale spill dir survived the restart wipe" >&2; exit 1; }
+check_ledger
+echo "ok: ledger intact; stale spill files were wiped, not trusted"
+
+echo "=== crash 2: spill files deleted before recovery"
+wait_spilled
+crash_server
+rm -rf "$SPILL"
+start_server
+check_ledger
+echo "ok: ledger intact with the spill dir gone entirely"
+
+echo "=== crash 3: spill files corrupted before recovery"
+wait_spilled
+F=$(ls "$SPILL/$SID"/level-*.spill | head -1)
+crash_server
+python3 - "$F" <<'EOF'
+import sys
+p = sys.argv[1]
+b = bytearray(open(p, "rb").read())
+for off in (8, len(b) // 2, len(b) - 1):
+    b[off] ^= 0xFF
+open(p, "wb").write(bytes(b))
+EOF
+touch "$SPILL/sentinel"
+start_server
+[ -e "$SPILL/sentinel" ] && { echo "corrupted spill dir survived the restart wipe" >&2; exit 1; }
+check_ledger
+crash_server
+echo "=== all spill-crash checks passed ($(wc -l <"$LEDGER") acknowledged ops)"

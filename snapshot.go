@@ -53,6 +53,7 @@ func (m *Manager) SnapshotRoots(w io.Writer, roots []SnapshotRoot, opts ...Snaps
 	for _, o := range opts {
 		o(&cfg)
 	}
+	m.k.EnsureReadable() // snapshot.Write traverses the store directly
 	srs := make([]snapshot.Root, len(roots))
 	for i, rt := range roots {
 		if rt.B == nil {
